@@ -1,0 +1,76 @@
+// E6 — the end-to-end general parallel nested loop (Figs. 1, 4-6): speedup
+// and utilization of the two-level scheme vs processor count, with the
+// overhead decomposition of §IV.
+#include "baselines/sequential.hpp"
+#include "bench_util.hpp"
+#include "program/fig1.hpp"
+#include "program/instance_graph.hpp"
+#include "runtime/scheduler.hpp"
+
+using namespace selfsched;
+
+int main() {
+  bench::banner(
+      "E6  two-level self-scheduling on the Fig. 1 program",
+      "the two-level scheme extracts the nest's parallelism without OS "
+      "involvement; high-level overhead O3 amortizes over instance size N");
+
+  program::Fig1Params p;
+  p.ni = 8;
+  p.nj = 4;
+  p.nk = 3;
+  p.na = 16;
+  p.nb = 24;
+  p.nc = 16;
+  p.nd = 16;
+  p.ne = 24;
+  p.nf = 16;
+  p.ng = 16;
+  p.nh = 32;
+  p.body_cost = 400;
+
+  double t1 = 0, tinf = 0;
+  {
+    auto prog = program::make_fig1(p);
+    const auto serial = baselines::run_sequential(prog);
+    const auto graph = program::build_instance_graph(prog, p.body_cost);
+    t1 = static_cast<double>(graph.total_work());
+    tinf = static_cast<double>(graph.critical_path());
+    std::printf("program: m=8 innermost loops, %llu instances, %llu "
+                "iterations, serial body time=%lld cycles\n",
+                static_cast<unsigned long long>(serial.instances),
+                static_cast<unsigned long long>(serial.iterations),
+                static_cast<long long>(serial.total_body_cost));
+    std::printf("instance DAG: T1=%.0f cycles, Tinf=%.0f cycles => "
+                "max usable parallelism T1/Tinf = %.1f\n",
+                t1, tinf, t1 / tinf);
+  }
+
+  bench::Table table({"procs", "makespan", "speedup", "brent_bound", "eta",
+                      "O1/iter", "O2/iter", "O3/iter", "engine_ops"});
+  for (u32 procs : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    auto prog = program::make_fig1(p);
+    runtime::SchedOptions opts;
+    opts.strategy = runtime::Strategy::gss();
+    const auto r = runtime::run_vtime(prog, procs, opts);
+    // Brent: T_P >= max(T1/P, Tinf), so speedup <= T1 / max(T1/P, Tinf).
+    const double bound = t1 / std::max(t1 / procs, tinf);
+    table.row({bench::fmt(procs), bench::fmt(r.makespan),
+               bench::fmt(r.speedup(), 2), bench::fmt(bound, 2),
+               bench::fmt(r.utilization()),
+               bench::fmt(r.o1_per_iteration(), 2),
+               bench::fmt(r.o2_per_iteration(), 2),
+               bench::fmt(r.o3_per_iteration(), 2),
+               bench::fmt(r.engine_ops)});
+  }
+  table.print();
+  std::printf(
+      "\nexpect: near-linear speedup at low P; O1 roughly constant, O2 "
+      "growing with P (more searching), O3 fixed per instance.  Where "
+      "measured speedup falls short of the Brent bound, the gap is the "
+      "scheme's own overhead: past P~16 the simultaneously active "
+      "instances offer fewer iterations than processors, so the surplus "
+      "burns O2 in SEARCH — the granularity limit of §IV, not a DAG "
+      "limit.\n");
+  return 0;
+}

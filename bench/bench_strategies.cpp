@@ -1,0 +1,82 @@
+// E5 — low-level strategy comparison under iteration-time variance: the
+// paper's rationale for incorporating GSS at the low level (§I, §II-C).
+//
+// Static prescheduling (block/cyclic, zero run-time overhead) vs dynamic
+// self-scheduling variants on four canonical cost distributions.  Dynamic
+// schemes pay per-dispatch synchronization but balance load; GSS pays
+// little of both.
+#include "baselines/static_sched.hpp"
+#include "bench_util.hpp"
+#include "runtime/scheduler.hpp"
+#include "workloads/iteration_cost.hpp"
+#include "workloads/programs.hpp"
+
+using namespace selfsched;
+
+namespace {
+
+struct Distribution {
+  const char* name;
+  program::CostFn cost;
+};
+
+struct Dynamic {
+  const char* name;
+  runtime::Strategy strategy;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E5  scheduling strategies under iteration-time variance",
+      "with variable iteration times, static prescheduling loses to "
+      "self-scheduling; GSS balances with near-chunk overhead");
+
+  constexpr i64 kIters = 4096;
+  constexpr u32 kProcs = 16;
+
+  const Distribution dists[] = {
+      {"constant(100)", workloads::constant_cost(100)},
+      {"uniform(20..180)", workloads::uniform_cost(11, 20, 180)},
+      {"bimodal(60,2000,5%)", workloads::bimodal_cost(12, 60, 2000, 50)},
+      {"decreasing(tri)", workloads::decreasing_cost(kIters, 4, 1)},
+  };
+  const Dynamic dynamics[] = {
+      {"self(1)", runtime::Strategy::self()},
+      {"chunk(16)", runtime::Strategy::chunked(16)},
+      {"chunk(256)", runtime::Strategy::chunked(256)},
+      {"gss", runtime::Strategy::gss()},
+      {"factoring", runtime::Strategy::factoring()},
+      {"trapezoid", runtime::Strategy::trapezoid()},
+  };
+
+  for (const Distribution& dist : dists) {
+    std::printf("\n--- distribution: %s ---\n", dist.name);
+    bench::Table table({"scheduler", "makespan", "eta", "dispatches"});
+    // Static baselines: closed-form virtual makespan, no runtime overhead.
+    for (baselines::StaticKind kind :
+         {baselines::StaticKind::kBlock, baselines::StaticKind::kCyclic}) {
+      const Cycles m =
+          baselines::static_makespan(kIters, dist.cost, kProcs, kind);
+      table.row({baselines::static_kind_name(kind), bench::fmt(m), "-",
+                 "0"});
+    }
+    for (const Dynamic& dyn : dynamics) {
+      auto prog = workloads::flat_doall(kIters, dist.cost);
+      runtime::SchedOptions opts;
+      opts.strategy = dyn.strategy;
+      const auto r = runtime::run_vtime(prog, kProcs, opts);
+      table.row({dyn.name, bench::fmt(r.makespan),
+                 bench::fmt(r.utilization()),
+                 bench::fmt(r.total.dispatches)});
+    }
+    table.print();
+  }
+  std::printf(
+      "\nexpect: constant costs -> static wins (no overhead); variance "
+      "(bimodal/decreasing) -> static-block degrades badly, self(1) "
+      "balances best but pays max overhead, GSS/factoring get balance at a "
+      "fraction of the dispatches.\n");
+  return 0;
+}

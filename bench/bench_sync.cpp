@@ -1,0 +1,117 @@
+// E9 — real-hardware throughput/latency of the §II-A synchronization
+// primitives: the test-and-op matrix on SyncVar, the paper's lock and
+// semaphore, the control word with leading-one-detection, and contended
+// variants (multi-threaded; on a single-core host the contended numbers
+// reflect time-sliced interleaving, still exercising the CAS retry paths).
+#include <benchmark/benchmark.h>
+
+#include "sync/control_word.hpp"
+#include "sync/semaphore.hpp"
+#include "sync/spin_lock.hpp"
+#include "sync/sync_var.hpp"
+
+using namespace selfsched;
+using namespace selfsched::sync;
+
+namespace {
+
+void BM_SyncVar_NullFetch(benchmark::State& state) {
+  SyncVar v(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.try_op(Test::kNone, 0, Op::kFetch));
+  }
+}
+BENCHMARK(BM_SyncVar_NullFetch);
+
+void BM_SyncVar_NullFetchAdd(benchmark::State& state) {
+  SyncVar v(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.try_op(Test::kNone, 0, Op::kFetchAdd, 1));
+  }
+}
+BENCHMARK(BM_SyncVar_NullFetchAdd);
+
+void BM_SyncVar_TestedFetchAdd_Success(benchmark::State& state) {
+  SyncVar v(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        v.try_op(Test::kLT, 1000000000, Op::kFetchAdd, 1));
+  }
+}
+BENCHMARK(BM_SyncVar_TestedFetchAdd_Success);
+
+void BM_SyncVar_TestedFetchAdd_Failure(benchmark::State& state) {
+  SyncVar v(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.try_op(Test::kLT, 0, Op::kFetchAdd, 1));
+  }
+}
+BENCHMARK(BM_SyncVar_TestedFetchAdd_Failure);
+
+void BM_SyncVar_EqCas(benchmark::State& state) {
+  SyncVar v(0);
+  i64 expect = 0;
+  for (auto _ : state) {
+    const auto r = v.try_op(Test::kEQ, expect, Op::kFetchAdd, 1);
+    if (r.success) ++expect;
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SyncVar_EqCas);
+
+void BM_SyncVar_ContendedFetchAdd(benchmark::State& state) {
+  static SyncVar v(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.try_op(Test::kNone, 0, Op::kFetchAdd, 1));
+  }
+}
+BENCHMARK(BM_SyncVar_ContendedFetchAdd)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_SpinLock_UncontendedPair(benchmark::State& state) {
+  SpinLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_SpinLock_UncontendedPair);
+
+void BM_SpinLock_Contended(benchmark::State& state) {
+  static SpinLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::ClobberMemory();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_SpinLock_Contended)->Threads(2)->Threads(4);
+
+void BM_Semaphore_PVPair(benchmark::State& state) {
+  Semaphore s(1);
+  for (auto _ : state) {
+    s.p();
+    s.v();
+  }
+}
+BENCHMARK(BM_Semaphore_PVPair);
+
+void BM_ControlWord_LeadingOne(benchmark::State& state) {
+  const u32 bits = static_cast<u32>(state.range(0));
+  ControlWord sw(bits);
+  sw.set(bits - 1);  // worst case: scan the whole word array
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw.leading_one());
+  }
+}
+BENCHMARK(BM_ControlWord_LeadingOne)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ControlWord_SetReset(benchmark::State& state) {
+  ControlWord sw(64);
+  for (auto _ : state) {
+    sw.set(13);
+    sw.reset(13);
+  }
+}
+BENCHMARK(BM_ControlWord_SetReset);
+
+}  // namespace

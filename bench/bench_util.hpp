@@ -1,0 +1,77 @@
+// Shared helpers for the experiment harnesses: aligned table printing and
+// common sweep plumbing.  Each bench binary reproduces one experiment from
+// DESIGN.md §4 and prints a self-describing table (CSV-ish) whose shape can
+// be compared against the paper's analytical claims; EXPERIMENTS.md records
+// the outcomes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace selfsched::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    print_row(headers_, width);
+    std::string sep;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      sep += std::string(width[c], '-');
+      sep += (c + 1 < headers_.size()) ? "-+-" : "";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& r : rows_) print_row(r, width);
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& width) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::string cell = cells[c];
+      cell.resize(width[c], ' ');
+      line += cell;
+      line += (c + 1 < cells.size()) ? " | " : "";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt(i64 v) { return std::to_string(v); }
+inline std::string fmt(u64 v) { return std::to_string(v); }
+inline std::string fmt(u32 v) { return std::to_string(v); }
+
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace selfsched::bench

@@ -1,0 +1,46 @@
+// Doacross self-scheduling (SDSS) on a real cross-iteration dependence:
+// a first-order linear recurrence and a prefix-sum-style smoothing pass,
+// validated against serial execution.  Also shows what happens when the
+// Doacross loop is chunked instead — the correctness is unchanged (the
+// post/wait flags still enforce the dependence), only the overlap is lost.
+#include <cstdio>
+
+#include "runtime/scheduler.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/programs.hpp"
+
+using namespace selfsched;
+
+int main() {
+  // --- real recurrence on the threaded engine ---
+  {
+    // Modest n: a Doacross chain on more threads than cores convoys on the
+    // post/wait spins, so keep the demo snappy on small hosts.
+    workloads::RecurrenceKernel kernel(30000);
+    auto prog = kernel.make_program();
+    const auto r = runtime::run_threads(prog, 4);
+    std::printf("recurrence y[j] = a*y[j-1] + b[j], n=%lld on 4 threads\n",
+                static_cast<long long>(kernel.n));
+    std::printf("  iterations=%llu  max|err|=%g  => %s\n",
+                static_cast<unsigned long long>(r.total.iterations),
+                kernel.verify(), kernel.verify() < 1e-12 ? "VERIFIED" : "BAD");
+  }
+
+  // --- overlap study on the virtual-time engine ---
+  std::printf("\nvirtual 8-processor machine, distance-1 chain, source at "
+              "20%% of the body:\n");
+  std::printf("%8s %12s %10s\n", "k", "makespan", "speedup");
+  for (i64 k : {1, 2, 5, 10}) {
+    auto prog = workloads::doacross_chain(2000, 1, 0.2, 500);
+    runtime::SchedOptions opts;
+    opts.doacross_strategy =
+        k == 1 ? runtime::Strategy::self() : runtime::Strategy::chunked(k);
+    const auto r = runtime::run_vtime(prog, 8, opts);
+    std::printf("%8lld %12lld %10.2f%s\n", static_cast<long long>(k),
+                static_cast<long long>(r.makespan), r.speedup(),
+                k == 1 ? "   <- SDSS" : "");
+  }
+  std::printf("\nSDSS (k=1) keeps the pipeline full; chunking serializes "
+              "k-1 of every k iterations (paper, Section I).\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Quickstart: schedule a flat Doall loop with GSS on the threaded engine.
+#include <cstdio>
+#include <vector>
+
+#include "program/ast.hpp"
+#include "program/tables.hpp"
+#include "runtime/scheduler.hpp"
+
+using namespace selfsched;
+
+int main() {
+  constexpr i64 kN = 100000;
+  std::vector<double> out(kN + 1, 0.0);
+
+  program::NodeSeq top;
+  top.push_back(program::doall(
+      "axpy", kN, [&](ProcId, const IndexVec&, i64 j) {
+        out[static_cast<std::size_t>(j)] = 2.0 * static_cast<double>(j) + 1.0;
+      }));
+  program::NestedLoopProgram prog(std::move(top));
+
+  runtime::SchedOptions opts;
+  opts.strategy = runtime::Strategy::gss();
+  auto result = runtime::run_threads(prog, 2, opts);
+  std::printf("%s", result.summary().c_str());
+  std::printf("out[1]=%.1f out[%lld]=%.1f\n", out[1], static_cast<long long>(kN),
+              out[static_cast<std::size_t>(kN)]);
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "baselines/sequential.hpp"
+
+#include "common/check.hpp"
+
+namespace selfsched::baselines {
+
+namespace {
+
+using program::Node;
+using program::NodeKind;
+using program::NodeSeq;
+
+class SerialInterp {
+ public:
+  SerialInterp(Cycles default_cost, bool call_bodies)
+      : default_cost_(default_cost), call_bodies_(call_bodies) {
+    ivec_.resize(kMaxDepth);
+  }
+
+  SerialStats run(const NodeSeq& top) {
+    ivec_[0] = 1;  // the implicit serial wrapper's single iteration
+    exec_seq(top, /*level=*/1);
+    return stats_;
+  }
+
+ private:
+  void exec_seq(const NodeSeq& seq, Level level) {
+    for (const auto& n : seq) exec(*n, level);
+  }
+
+  void exec(const Node& n, Level level) {
+    switch (n.kind) {
+      case NodeKind::kParallelLoop:
+      case NodeKind::kSerialLoop: {
+        const i64 bound = n.bound.eval(ivec_);
+        SS_CHECK_MSG(bound >= 0, "negative loop bound at run time");
+        for (i64 k = 1; k <= bound; ++k) {
+          ivec_[level] = k;  // the level-(level+1) loop index
+          exec_seq(n.children, level + 1);
+        }
+        break;
+      }
+      case NodeKind::kIf:
+        if (n.cond(ivec_)) {
+          exec_seq(n.children, level);
+        } else {
+          exec_seq(n.else_children, level);
+        }
+        break;
+      case NodeKind::kSections:
+        SS_FATAL("kSections must be desugared before interpretation");
+      case NodeKind::kInnermost: {
+        const i64 bound = n.bound.eval(ivec_);
+        SS_CHECK_MSG(bound >= 0, "negative loop bound at run time");
+        // Zero-trip instances are vacuous: the runtime never creates an
+        // ICB for them and the instance graph has no node, so they do not
+        // count as instances here either.
+        if (bound > 0) ++stats_.instances;
+        for (i64 j = 1; j <= bound; ++j) {
+          stats_.total_body_cost +=
+              n.cost ? n.cost(ivec_, j) : default_cost_;
+          if (call_bodies_ && n.body) n.body(0, ivec_, j);
+          ++stats_.iterations;
+        }
+        break;
+      }
+    }
+  }
+
+  Cycles default_cost_;
+  bool call_bodies_;
+  IndexVec ivec_;
+  SerialStats stats_;
+};
+
+}  // namespace
+
+SerialStats run_sequential(const program::NestedLoopProgram& prog,
+                           Cycles default_body_cost, bool call_bodies) {
+  return SerialInterp(default_body_cost, call_bodies).run(prog.ast());
+}
+
+}  // namespace selfsched::baselines

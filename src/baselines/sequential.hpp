@@ -1,0 +1,24 @@
+// Reference serial executor: interprets the loop-nest AST directly (not the
+// compiled tables), executing every iteration in program order on one
+// processor.  It is the differential-testing oracle for the scheduler — the
+// parallel runtimes must execute exactly this iteration multiset — and it
+// supplies the serial-time denominators for speedup reporting.
+#pragma once
+
+#include "common/types.hpp"
+#include "program/tables.hpp"
+
+namespace selfsched::baselines {
+
+struct SerialStats {
+  u64 iterations = 0;       // loop-body iterations executed
+  u64 instances = 0;        // innermost-parallel-loop instances encountered
+  Cycles total_body_cost = 0;  // Σ cost(ivec, j) (cost fn or default)
+};
+
+/// Execute serially; body callbacks are invoked with proc = 0.
+SerialStats run_sequential(const program::NestedLoopProgram& prog,
+                           Cycles default_body_cost = 100,
+                           bool call_bodies = true);
+
+}  // namespace selfsched::baselines

@@ -1,0 +1,61 @@
+#include "baselines/static_sched.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace selfsched::baselines {
+
+const char* static_kind_name(StaticKind k) {
+  switch (k) {
+    case StaticKind::kBlock: return "static-block";
+    case StaticKind::kCyclic: return "static-cyclic";
+  }
+  return "?";
+}
+
+Cycles static_makespan(i64 n, const program::CostFn& cost, u32 procs,
+                       StaticKind kind, Cycles per_iteration_overhead) {
+  SS_CHECK(n >= 0 && procs >= 1);
+  std::vector<Cycles> load(procs, 0);
+  IndexVec empty;
+  for (i64 j = 1; j <= n; ++j) {
+    const Cycles c = (cost ? cost(empty, j) : 1) + per_iteration_overhead;
+    u32 p;
+    if (kind == StaticKind::kCyclic) {
+      p = static_cast<u32>((j - 1) % procs);
+    } else {
+      // Block: processor p owns iterations [p*n/P, (p+1)*n/P).
+      p = static_cast<u32>(((j - 1) * static_cast<i64>(procs)) / n);
+      p = std::min(p, procs - 1);
+    }
+    load[p] += c;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+void static_parallel_for(i64 n, u32 procs, StaticKind kind,
+                         const std::function<void(ProcId, i64)>& body) {
+  SS_CHECK(n >= 0 && procs >= 1);
+  auto run = [&](ProcId p) {
+    if (kind == StaticKind::kCyclic) {
+      for (i64 j = static_cast<i64>(p) + 1; j <= n;
+           j += static_cast<i64>(procs)) {
+        body(p, j);
+      }
+    } else {
+      const i64 lo = static_cast<i64>(p) * n / procs + 1;
+      const i64 hi = (static_cast<i64>(p) + 1) * n / procs;
+      for (i64 j = lo; j <= hi; ++j) body(p, j);
+    }
+  };
+  std::vector<std::thread> team;
+  team.reserve(procs - 1);
+  for (u32 p = 1; p < procs; ++p) team.emplace_back(run, p);
+  run(0);
+  for (auto& t : team) t.join();
+}
+
+}  // namespace selfsched::baselines

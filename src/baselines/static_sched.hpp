@@ -1,0 +1,34 @@
+// Static prescheduling baselines for flat Doall loops — the compile-time
+// alternative the paper argues against when iteration times vary (§I).
+//
+//   * static_makespan(): closed-form virtual-time makespan of a block or
+//     cyclic preschedule under a given per-iteration cost model.  Static
+//     scheduling has no run-time synchronization, so its simulation is a
+//     direct maximum over processors — no engine needed.
+//   * static_parallel_for(): a real threaded executor with the same
+//     assignment (functional baseline for the threaded engine).
+#pragma once
+
+#include <functional>
+
+#include "common/small_vec.hpp"
+#include "common/types.hpp"
+#include "program/ast.hpp"
+
+namespace selfsched::baselines {
+
+enum class StaticKind : u32 { kBlock, kCyclic };
+
+const char* static_kind_name(StaticKind k);
+
+/// Virtual makespan of prescheduling iterations 1..n of a flat loop whose
+/// iteration j costs cost(ivec, j) cycles (ivec is passed empty), plus
+/// `per_iteration_overhead` cycles of loop bookkeeping per iteration.
+Cycles static_makespan(i64 n, const program::CostFn& cost, u32 procs,
+                       StaticKind kind, Cycles per_iteration_overhead = 0);
+
+/// Threaded block/cyclic parallel-for over iterations 1..n.
+void static_parallel_for(i64 n, u32 procs, StaticKind kind,
+                         const std::function<void(ProcId, i64)>& body);
+
+}  // namespace selfsched::baselines

@@ -1,0 +1,35 @@
+// Cache-line geometry and false-sharing avoidance.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace selfsched {
+
+// Fixed rather than std::hardware_destructive_interference_size: the value
+// is part of the library ABI (SyncVar's size is static_asserted), and GCC
+// warns that the std constant varies with -mtune.  64 bytes is correct for
+// every x86-64 and mainstream AArch64 part.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps a value in its own cache line so per-processor counters and the
+/// shared synchronization variables of distinct loop instances do not
+/// false-share.  The paper's machine model gives each synchronization
+/// variable its own shared-memory word; on modern hardware the equivalent
+/// hygiene is line isolation.
+template <typename T>
+struct alignas(kCacheLine) CachePadded {
+  T value;
+
+  CachePadded() = default;
+  template <typename... Args>
+  explicit CachePadded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace selfsched

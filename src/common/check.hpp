@@ -1,0 +1,49 @@
+// Invariant checking: SS_CHECK is always on (cheap, used on API boundaries
+// and scheduler invariants whose violation would corrupt shared state);
+// SS_DCHECK compiles out in release builds (hot-path assertions).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace selfsched::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::string what = std::string("SS_CHECK failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) what += " — " + msg;
+  throw std::logic_error(what);
+}
+
+[[noreturn]] inline void fatal(const char* file, int line,
+                               const std::string& msg) {
+  // Used from contexts that must not throw (worker threads mid-teardown).
+  std::fprintf(stderr, "selfsched fatal at %s:%d: %s\n", file, line,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace selfsched::detail
+
+#define SS_CHECK(expr)                                                       \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::selfsched::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define SS_CHECK_MSG(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::selfsched::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#define SS_FATAL(msg) ::selfsched::detail::fatal(__FILE__, __LINE__, (msg))
+
+#ifdef NDEBUG
+#define SS_DCHECK(expr) ((void)0)
+#else
+#define SS_DCHECK(expr) SS_CHECK(expr)
+#endif

@@ -1,0 +1,19 @@
+// Spin-wait hinting for busy-wait loops on real hardware.
+#pragma once
+
+namespace selfsched {
+
+/// Hint to the processor that we are in a spin-wait loop (PAUSE on x86,
+/// YIELD on ARM).  Reduces pipeline flush cost and lets the sibling
+/// hyperthread make progress while we spin on a synchronization variable.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace selfsched

@@ -1,0 +1,31 @@
+#include "common/rng.hpp"
+
+#include "common/check.hpp"
+
+namespace selfsched {
+
+u64 Xoshiro256ss::below(u64 bound) {
+  SS_DCHECK(bound > 0);
+  // Lemire's multiply-shift rejection method: unbiased and avoids division
+  // in the common case.
+  u64 x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  u64 l = static_cast<u64>(m);
+  if (l < bound) {
+    const u64 threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<u64>(m);
+    }
+  }
+  return static_cast<u64>(m >> 64);
+}
+
+i64 Xoshiro256ss::range(i64 lo, i64 hi) {
+  SS_DCHECK(lo <= hi);
+  const u64 span = static_cast<u64>(hi - lo) + 1;
+  return lo + static_cast<i64>(below(span));
+}
+
+}  // namespace selfsched

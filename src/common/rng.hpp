@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation for workload synthesis and
+// property tests.  We avoid <random> engines in hot paths: xoshiro256** is
+// faster, has a tiny state, and — crucially for reproducing experiments —
+// its sequences are identical across platforms and standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace selfsched {
+
+/// SplitMix64: used to seed xoshiro and as a cheap stateless hash/stream.
+struct SplitMix64 {
+  u64 state;
+
+  explicit constexpr SplitMix64(u64 seed) : state(seed) {}
+
+  constexpr u64 next() {
+    u64 z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Stateless 64-bit mix; used to derive per-iteration workload costs from
+/// (seed, index-vector) without any shared RNG state between processors.
+constexpr u64 mix64(u64 x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna.  Not cryptographic; excellent for
+/// simulation workloads.
+class Xoshiro256ss {
+ public:
+  explicit Xoshiro256ss(u64 seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  u64 next() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  u64 below(u64 bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<u64, 4> s_{};
+};
+
+}  // namespace selfsched

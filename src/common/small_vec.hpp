@@ -1,0 +1,100 @@
+// Fixed-capacity inline vector.  Index vectors of enclosing loops (the
+// paper's `lvec` / `loc_indexes`) are at most kMaxDepth long and are copied
+// on every instance activation, so they must not allocate.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace selfsched {
+
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr SmallVec() = default;
+
+  constexpr SmallVec(std::initializer_list<T> init) {
+    SS_CHECK(init.size() <= N);
+    std::copy(init.begin(), init.end(), data_.begin());
+    size_ = init.size();
+  }
+
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  static constexpr std::size_t capacity() { return N; }
+
+  constexpr T& operator[](std::size_t i) {
+    SS_DCHECK(i < size_);
+    return data_[i];
+  }
+  constexpr const T& operator[](std::size_t i) const {
+    SS_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  constexpr T& back() {
+    SS_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+  constexpr const T& back() const {
+    SS_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  constexpr void push_back(const T& v) {
+    SS_CHECK(size_ < N);
+    data_[size_++] = v;
+  }
+  constexpr void pop_back() {
+    SS_DCHECK(size_ > 0);
+    --size_;
+  }
+  constexpr void clear() { size_ = 0; }
+
+  /// Grow or shrink to `n`; new elements are value-initialized.
+  constexpr void resize(std::size_t n) {
+    SS_CHECK(n <= N);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = T{};
+    size_ = n;
+  }
+
+  constexpr iterator begin() { return data_.data(); }
+  constexpr iterator end() { return data_.data() + size_; }
+  constexpr const_iterator begin() const { return data_.data(); }
+  constexpr const_iterator end() const { return data_.data() + size_; }
+
+  friend constexpr bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::array<T, N> data_{};
+  std::size_t size_ = 0;
+};
+
+/// Index vector of the enclosing outer loops of an innermost-parallel-loop
+/// instance (the paper's `ivec`).  Element j holds the 1-based iteration
+/// index of the enclosing loop at level j+1.
+using IndexVec = SmallVec<i64, kMaxDepth>;
+
+/// Stable 64-bit hash of an index-vector prefix; keys BAR_COUNT counters.
+inline u64 hash_prefix(const IndexVec& v, std::size_t prefix_len) {
+  SS_DCHECK(prefix_len <= v.size());
+  u64 h = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < prefix_len; ++i) {
+    h ^= static_cast<u64>(v[i]) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace selfsched

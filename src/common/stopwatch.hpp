@@ -1,0 +1,32 @@
+// Wall-clock measurement for the threaded engine and the benches.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace selfsched {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed nanoseconds since construction or last reset().
+  i64 elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double elapsed_seconds() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace selfsched

@@ -1,0 +1,36 @@
+// Fundamental scalar types and limits shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace selfsched {
+
+using i32 = std::int32_t;
+using u32 = std::uint32_t;
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+/// Virtual or real time measured in abstract machine cycles.
+using Cycles = std::int64_t;
+
+/// Identifier of a (virtual or physical) processor, 0-based.
+using ProcId = std::uint32_t;
+
+/// Identifier of an innermost parallel loop, 0-based.  The paper numbers the
+/// m innermost parallel loops 1..m top to bottom; we use 0..m-1 internally
+/// and 1-based numbering only in printed diagnostics.
+using LoopId = std::uint32_t;
+
+/// Nesting level.  Level 0 is "outside the whole nest"; the paper's level j
+/// (1-based, DESCRPT_i(j)) maps to index j-1 into our per-loop level arrays.
+using Level = std::uint32_t;
+
+/// Maximum supported nesting depth of a loop program.  Index vectors are
+/// fixed-capacity (allocation-free) arrays of this size.
+inline constexpr Level kMaxDepth = 16;
+
+/// Sentinel "no loop" value for LoopId fields (e.g. an empty FALSE branch).
+inline constexpr LoopId kNoLoop = 0xffffffffu;
+
+}  // namespace selfsched

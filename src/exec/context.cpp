@@ -1,0 +1,33 @@
+#include "exec/context.hpp"
+
+namespace selfsched::exec {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kBody: return "body";
+    case Phase::kIterSync: return "iter_sync(O1)";
+    case Phase::kSearch: return "search(O2)";
+    case Phase::kExitEnter: return "exit_enter(O3)";
+    case Phase::kPoolIdle: return "pool_idle";
+    case Phase::kDoacrossWait: return "doacross_wait";
+    case Phase::kTeardown: return "teardown";
+    case Phase::kOther: return "other";
+  }
+  return "?";
+}
+
+char phase_glyph(Phase p) {
+  switch (p) {
+    case Phase::kBody: return '#';
+    case Phase::kIterSync: return '+';
+    case Phase::kSearch: return 's';
+    case Phase::kExitEnter: return 'E';
+    case Phase::kPoolIdle: return '.';
+    case Phase::kDoacrossWait: return 'w';
+    case Phase::kTeardown: return 't';
+    case Phase::kOther: return ' ';
+  }
+  return '?';
+}
+
+}  // namespace selfsched::exec

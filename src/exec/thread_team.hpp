@@ -1,0 +1,95 @@
+// A persistent worker team for the threaded engine: P-1 parked threads
+// plus the caller, reusable across runs.  run_threads() spawns a fresh team
+// per invocation, which is fine for long programs but dominates short ones;
+// benches and services that schedule many nests reuse one ThreadTeam
+// (runtime::run_threads_on).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace selfsched::exec {
+
+class ThreadTeam {
+ public:
+  explicit ThreadTeam(u32 procs) : procs_(procs) {
+    SS_CHECK(procs >= 1);
+    members_.reserve(procs - 1);
+    for (u32 id = 1; id < procs; ++id) {
+      members_.emplace_back([this, id] { member_loop(id); });
+    }
+  }
+
+  ~ThreadTeam() {
+    {
+      std::lock_guard lk(mu_);
+      stopping_ = true;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    for (std::thread& t : members_) t.join();
+  }
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  u32 procs() const { return procs_; }
+
+  /// Run `fn(id)` on every member (ids 1..P-1) and on the caller (id 0);
+  /// returns when all are done.  Not reentrant.
+  void run(const std::function<void(ProcId)>& fn) {
+    {
+      std::lock_guard lk(mu_);
+      SS_CHECK_MSG(!running_, "ThreadTeam::run is not reentrant");
+      fn_ = &fn;
+      remaining_ = procs_ - 1;
+      running_ = true;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    fn(0);
+    std::unique_lock lk(mu_);
+    done_cv_.wait(lk, [this] { return remaining_ == 0; });
+    running_ = false;
+    fn_ = nullptr;
+  }
+
+ private:
+  void member_loop(ProcId id) {
+    u64 seen_epoch = 0;
+    for (;;) {
+      const std::function<void(ProcId)>* fn = nullptr;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return epoch_ != seen_epoch; });
+        seen_epoch = epoch_;
+        if (stopping_) return;
+        fn = fn_;
+      }
+      (*fn)(id);
+      {
+        std::lock_guard lk(mu_);
+        if (--remaining_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  u32 procs_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(ProcId)>* fn_ = nullptr;
+  u64 epoch_ = 0;
+  u32 remaining_ = 0;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> members_;
+};
+
+}  // namespace selfsched::exec

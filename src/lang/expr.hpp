@@ -1,0 +1,67 @@
+// Expression trees of the mini-language: integer arithmetic and boolean
+// logic over the loop indices in scope.  An Expr is compiled once at parse
+// time and evaluated many times at run time (loop bounds, IF conditions,
+// iteration costs), so evaluation is a cheap virtual walk with no
+// allocation, and trees are immutable and shareable across threads.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/small_vec.hpp"
+#include "common/types.hpp"
+
+namespace selfsched::lang {
+
+/// Index-vector slot of a variable.  Slots >= 0 address ivec[slot]
+/// (enclosing loop indices; the implicit wrapper owns slot 0); kLeafVar is
+/// the innermost loop's own iteration index, passed separately.
+inline constexpr i32 kLeafVar = -1;
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  enum class Op : u32 {
+    kConst, kVar,
+    kAdd, kSub, kMul, kDiv, kMod, kNeg,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kAnd, kOr, kNot,
+  };
+
+  /// Evaluate with the enclosing indices and (for leaf-cost expressions)
+  /// the innermost iteration index j.  Throws std::logic_error on division
+  /// or modulo by zero.
+  i64 eval(const IndexVec& ivec, i64 j) const;
+
+  Op op() const { return op_; }
+  /// True when the tree contains no kVar node (bounds that are constants
+  /// compile to plain program::Bound constants).
+  bool is_constant() const;
+
+  static ExprPtr constant(i64 v);
+  static ExprPtr var(i32 slot, std::string name);
+  static ExprPtr unary(Op op, ExprPtr a);
+  static ExprPtr binary(Op op, ExprPtr a, ExprPtr b);
+
+  /// Render back to source-ish text (diagnostics, tests).
+  std::string to_string() const;
+
+ private:
+  Expr(Op op, i64 value, i32 slot, std::string name, ExprPtr a, ExprPtr b)
+      : op_(op),
+        value_(value),
+        slot_(slot),
+        name_(std::move(name)),
+        a_(std::move(a)),
+        b_(std::move(b)) {}
+
+  Op op_;
+  i64 value_ = 0;  // kConst
+  i32 slot_ = 0;   // kVar
+  std::string name_;
+  ExprPtr a_, b_;
+};
+
+}  // namespace selfsched::lang

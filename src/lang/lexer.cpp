@@ -1,0 +1,109 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+
+namespace selfsched::lang {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  u32 line = 1, col = 1;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n; ++k, ++i) {
+      if (i < src.size() && src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto push = [&](Tok kind, std::string text = {}, i64 value = 0) {
+    out.push_back(Token{kind, std::move(text), value, line, col});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '!') {
+      // "!=" is the inequality operator; any other "!" starts a comment
+      // running to end of line (negation is spelled NOT).
+      if (i + 1 < src.size() && src[i + 1] == '=') {
+        push(Tok::kNe);
+        advance(2);
+        continue;
+      }
+      while (i < src.size() && src[i] != '\n') advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const u32 tline = line, tcol = col;
+      i64 v = 0;
+      while (i < src.size() &&
+             std::isdigit(static_cast<unsigned char>(src[i]))) {
+        const i64 digit = src[i] - '0';
+        if (v > (INT64_MAX - digit) / 10) {
+          throw ParseError("integer literal overflows i64", tline, tcol);
+        }
+        v = v * 10 + digit;
+        advance();
+      }
+      out.push_back(Token{Tok::kInt, {}, v, tline, tcol});
+      continue;
+    }
+    if (ident_start(c)) {
+      const u32 tline = line, tcol = col;
+      std::string text;
+      while (i < src.size() && ident_cont(src[i])) {
+        text.push_back(src[i]);
+        advance();
+      }
+      out.push_back(Token{Tok::kIdent, std::move(text), 0, tline, tcol});
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < src.size() && src[i + 1] == b;
+    };
+    if (two('=', '=')) { push(Tok::kEq); advance(2); continue; }
+    if (two('<', '=')) { push(Tok::kLe); advance(2); continue; }
+    if (two('>', '=')) { push(Tok::kGe); advance(2); continue; }
+    if (two('&', '&')) { push(Tok::kAnd); advance(2); continue; }
+    if (two('|', '|')) { push(Tok::kOr); advance(2); continue; }
+    switch (c) {
+      case '(': push(Tok::kLParen); break;
+      case ')': push(Tok::kRParen); break;
+      case ',': push(Tok::kComma); break;
+      case '=': push(Tok::kAssign); break;
+      case '+': push(Tok::kPlus); break;
+      case '-': push(Tok::kMinus); break;
+      case '*': push(Tok::kStar); break;
+      case '/': push(Tok::kSlash); break;
+      case '%': push(Tok::kPercent); break;
+      case '<': push(Tok::kLt); break;
+      case '>': push(Tok::kGt); break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         line, col);
+    }
+    advance();
+  }
+  push(Tok::kEnd);
+  return out;
+}
+
+}  // namespace selfsched::lang

@@ -1,0 +1,62 @@
+// Lexer for the loop-nest mini-language (src/lang/parser.hpp): a
+// Fortran-flavoured notation for general parallel nested loops, standing in
+// for the parallelizing-compiler front end of the paper's setting [19].
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace selfsched::lang {
+
+enum class Tok : u32 {
+  kIdent,   // identifier or keyword (keywords resolved by the parser)
+  kInt,     // integer literal
+  kLParen,
+  kRParen,
+  kComma,
+  kAssign,  // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,      // ==
+  kNe,      // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,     // &&
+  kOr,      // ||
+  kEnd,     // end of input  (negation is the keyword NOT)
+};
+
+struct Token {
+  Tok kind;
+  std::string text;  // identifier spelling (upper-cased for keywords check)
+  i64 value = 0;     // kInt
+  u32 line = 1;
+  u32 col = 1;
+};
+
+/// Thrown on any lexical or syntactic error; carries line/column context.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, u32 line_no, u32 col_no)
+      : std::runtime_error("parse error at " + std::to_string(line_no) +
+                           ":" + std::to_string(col_no) + ": " + msg),
+        line(line_no),
+        col(col_no) {}
+  u32 line;
+  u32 col;
+};
+
+/// Tokenize the whole source.  `!` starts a comment to end of line.
+/// Newlines are not significant (the grammar is keyword-delimited).
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace selfsched::lang

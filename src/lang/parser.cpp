@@ -1,0 +1,424 @@
+#include "lang/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/check.hpp"
+#include "lang/expr.hpp"
+
+namespace selfsched::lang {
+
+namespace {
+
+using program::Bound;
+using program::CondFn;
+using program::CostFn;
+using program::NodePtr;
+using program::NodeSeq;
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+const std::set<std::string> kKeywords = {
+    "DOALL", "DO",  "DOACROSS", "LOOP",     "IF",      "THEN",  "ELSE",
+    "END",   "NOT", "COST",     "SECTIONS", "SECTION", "DIST",  "POST",
+    "PARAM"};
+
+class Parser {
+ public:
+  Parser(std::string_view src, const ParseOptions& opts)
+      : tokens_(tokenize(src)), opts_(opts) {
+    // The implicit wrapper loop owns index-vector slot 0.
+    scope_.push_back({"", 0});
+  }
+
+  NodeSeq parse() {
+    parse_param_decls();
+    NodeSeq top = parse_block(/*stop_on_else=*/false);
+    expect_end_of_input();
+    if (top.empty()) throw err("empty program");
+    return top;
+  }
+
+ private:
+  struct ScopeVar {
+    std::string name;  // upper-cased
+    i32 slot;
+  };
+
+  // ------------------------------------------------------------ tokens --
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  ParseError err(const std::string& msg) const {
+    return ParseError(msg, peek().line, peek().col);
+  }
+
+  bool at_keyword(const char* kw) const {
+    return peek().kind == Tok::kIdent && upper(peek().text) == kw;
+  }
+
+  void expect_keyword(const char* kw) {
+    if (!at_keyword(kw)) {
+      throw err(std::string("expected ") + kw);
+    }
+    take();
+  }
+
+  void expect(Tok kind, const char* what) {
+    if (peek().kind != kind) throw err(std::string("expected ") + what);
+    take();
+  }
+
+  void expect_end_of_input() {
+    if (peek().kind != Tok::kEnd) throw err("trailing input after program");
+  }
+
+  std::string take_ident(const char* what) {
+    if (peek().kind != Tok::kIdent) {
+      throw err(std::string("expected ") + what);
+    }
+    std::string name = take().text;
+    if (kKeywords.count(upper(name)) != 0) {
+      throw err("'" + name + "' is a reserved keyword");
+    }
+    return name;
+  }
+
+  // ------------------------------------------------------------- scope --
+  /// Resolve an identifier to a variable slot or a named parameter.
+  /// Positions come from the identifier's own token so errors point at it.
+  ExprPtr resolve(const std::string& name, bool leaf_var_visible, u32 line,
+                  u32 col) {
+    const std::string u = upper(name);
+    for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+      if (it->name == u) {
+        if (it->slot == kLeafVar && !leaf_var_visible) {
+          throw ParseError("loop variable '" + name +
+                               "' of the innermost loop may only appear in "
+                               "its COST expression",
+                           line, col);
+        }
+        return Expr::var(it->slot, u);
+      }
+    }
+    const auto p = opts_.params.find(name);
+    if (p != opts_.params.end()) return Expr::constant(p->second);
+    // Case-insensitive parameter fallback.
+    for (const auto& [k, v] : opts_.params) {
+      if (upper(k) == u) return Expr::constant(v);
+    }
+    throw ParseError("unknown variable '" + name + "'", line, col);
+  }
+
+  // -------------------------------------------------------- expressions --
+  ExprPtr parse_expr(bool leaf_var_visible) {
+    return parse_or(leaf_var_visible);
+  }
+
+  ExprPtr parse_or(bool lv) {
+    ExprPtr a = parse_and(lv);
+    while (peek().kind == Tok::kOr) {
+      take();
+      a = Expr::binary(Expr::Op::kOr, std::move(a), parse_and(lv));
+    }
+    return a;
+  }
+
+  ExprPtr parse_and(bool lv) {
+    ExprPtr a = parse_cmp(lv);
+    while (peek().kind == Tok::kAnd) {
+      take();
+      a = Expr::binary(Expr::Op::kAnd, std::move(a), parse_cmp(lv));
+    }
+    return a;
+  }
+
+  ExprPtr parse_cmp(bool lv) {
+    ExprPtr a = parse_add(lv);
+    for (;;) {
+      Expr::Op op;
+      switch (peek().kind) {
+        case Tok::kEq: op = Expr::Op::kEq; break;
+        case Tok::kNe: op = Expr::Op::kNe; break;
+        case Tok::kLt: op = Expr::Op::kLt; break;
+        case Tok::kLe: op = Expr::Op::kLe; break;
+        case Tok::kGt: op = Expr::Op::kGt; break;
+        case Tok::kGe: op = Expr::Op::kGe; break;
+        default: return a;
+      }
+      take();
+      a = Expr::binary(op, std::move(a), parse_add(lv));
+    }
+  }
+
+  ExprPtr parse_add(bool lv) {
+    ExprPtr a = parse_mul(lv);
+    for (;;) {
+      if (peek().kind == Tok::kPlus) {
+        take();
+        a = Expr::binary(Expr::Op::kAdd, std::move(a), parse_mul(lv));
+      } else if (peek().kind == Tok::kMinus) {
+        take();
+        a = Expr::binary(Expr::Op::kSub, std::move(a), parse_mul(lv));
+      } else {
+        return a;
+      }
+    }
+  }
+
+  ExprPtr parse_mul(bool lv) {
+    ExprPtr a = parse_unary(lv);
+    for (;;) {
+      Expr::Op op;
+      switch (peek().kind) {
+        case Tok::kStar: op = Expr::Op::kMul; break;
+        case Tok::kSlash: op = Expr::Op::kDiv; break;
+        case Tok::kPercent: op = Expr::Op::kMod; break;
+        default: return a;
+      }
+      take();
+      a = Expr::binary(op, std::move(a), parse_unary(lv));
+    }
+  }
+
+  ExprPtr parse_unary(bool lv) {
+    if (peek().kind == Tok::kMinus) {
+      take();
+      return Expr::unary(Expr::Op::kNeg, parse_unary(lv));
+    }
+    if (at_keyword("NOT")) {
+      take();
+      return Expr::unary(Expr::Op::kNot, parse_unary(lv));
+    }
+    return parse_atom(lv);
+  }
+
+  ExprPtr parse_atom(bool lv) {
+    if (peek().kind == Tok::kInt) return Expr::constant(take().value);
+    if (peek().kind == Tok::kLParen) {
+      take();
+      ExprPtr e = parse_expr(lv);
+      expect(Tok::kRParen, "')'");
+      return e;
+    }
+    if (peek().kind == Tok::kIdent &&
+        kKeywords.count(upper(peek().text)) == 0) {
+      const Token t = take();
+      return resolve(t.text, lv, t.line, t.col);
+    }
+    throw err("expected expression");
+  }
+
+  // ---------------------------------------------------------- compiling --
+  Bound compile_bound(const ExprPtr& e) {
+    if (e->is_constant()) {
+      IndexVec empty;
+      return Bound{e->eval(empty, 0)};
+    }
+    return Bound{[e](const IndexVec& iv) { return e->eval(iv, 0); }};
+  }
+
+  static CondFn compile_cond(const ExprPtr& e) {
+    return [e](const IndexVec& iv) { return e->eval(iv, 0) != 0; };
+  }
+
+  static CostFn compile_cost(const ExprPtr& e) {
+    return [e](const IndexVec& iv, i64 j) -> Cycles {
+      const i64 c = e->eval(iv, j);
+      if (c < 0) throw std::logic_error("negative COST in loop program");
+      return c;
+    };
+  }
+
+  /// `var = 1, expr` loop header; returns (var name, upper bound).
+  std::pair<std::string, ExprPtr> parse_loop_header() {
+    std::string var = take_ident("loop variable");
+    expect(Tok::kAssign, "'='");
+    ExprPtr lo = parse_expr(/*leaf_var_visible=*/false);
+    IndexVec empty;
+    if (!lo->is_constant() || lo->eval(empty, 0) != 1) {
+      throw err("lower bound must be the constant 1 (normalized form)");
+    }
+    expect(Tok::kComma, "','");
+    ExprPtr hi = parse_expr(/*leaf_var_visible=*/false);
+    return {std::move(var), std::move(hi)};
+  }
+
+  /// Leading `PARAM NAME = expr` declarations: in-file defaults for named
+  /// constants.  Caller-supplied ParseOptions::params override them (map
+  /// emplace does not replace), so a file can be self-contained yet still
+  /// sweepable from the command line.
+  void parse_param_decls() {
+    while (at_keyword("PARAM")) {
+      take();
+      const std::string name = take_ident("parameter name");
+      expect(Tok::kAssign, "'='");
+      ExprPtr value = parse_expr(/*leaf_var_visible=*/false);
+      if (!value->is_constant()) {
+        throw err("PARAM value must be a constant expression");
+      }
+      IndexVec empty;
+      opts_.params.emplace(name, value->eval(empty, 0));
+    }
+  }
+
+  // -------------------------------------------------------- constructs --
+  NodeSeq parse_block(bool stop_on_else) {
+    NodeSeq seq;
+    for (;;) {
+      if (peek().kind == Tok::kEnd || at_keyword("END") ||
+          at_keyword("SECTION") || (stop_on_else && at_keyword("ELSE"))) {
+        return seq;
+      }
+      seq.push_back(parse_construct());
+    }
+  }
+
+  NodePtr parse_construct() {
+    if (at_keyword("DOALL")) return parse_container(/*parallel=*/true);
+    if (at_keyword("DO")) return parse_container(/*parallel=*/false);
+    if (at_keyword("LOOP")) return parse_leaf(/*doacross=*/false);
+    if (at_keyword("DOACROSS")) return parse_leaf(/*doacross=*/true);
+    if (at_keyword("IF")) return parse_if();
+    if (at_keyword("SECTIONS")) return parse_sections();
+    throw err("expected DOALL, DO, LOOP, DOACROSS, IF or SECTIONS");
+  }
+
+  NodePtr parse_container(bool parallel) {
+    take();  // DOALL / DO
+    auto [var, hi] = parse_loop_header();
+    scope_.push_back({upper(var), next_slot_++});
+    NodeSeq body = parse_block(/*stop_on_else=*/false);
+    if (body.empty()) throw err("empty loop body");
+    expect_keyword("END");
+    scope_.pop_back();
+    --next_slot_;
+    Bound b = compile_bound(hi);
+    program::NodePtr node = parallel
+                                ? program::par(std::move(b), std::move(body))
+                                : program::ser(std::move(b), std::move(body));
+    node->src_var = var;
+    node->src_bound = hi->to_string();
+    return node;
+  }
+
+  NodePtr parse_leaf(bool doacross) {
+    take();  // LOOP / DOACROSS
+    std::string name = take_ident("loop name");
+    if (!leaf_names_.insert(upper(name)).second) {
+      throw err("duplicate loop name '" + name + "'");
+    }
+    auto [var, hi] = parse_loop_header();
+
+    program::DoacrossSpec spec;
+    if (doacross) {
+      if (at_keyword("DIST")) {
+        take();
+        if (peek().kind != Tok::kInt || peek().value < 1) {
+          throw err("DIST expects a positive integer");
+        }
+        spec.distance = take().value;
+      }
+      if (at_keyword("POST")) {
+        take();
+        if (peek().kind != Tok::kInt || peek().value < 0 ||
+            peek().value > 100) {
+          throw err("POST expects a percentage 0..100");
+        }
+        spec.post_fraction = static_cast<double>(take().value) / 100.0;
+      }
+    }
+
+    CostFn cost;
+    std::string cost_src;
+    if (at_keyword("COST")) {
+      take();
+      // The leaf's own variable is visible in COST only.
+      scope_.push_back({upper(var), kLeafVar});
+      ExprPtr cost_expr = parse_expr(/*leaf_var_visible=*/true);
+      cost_src = cost_expr->to_string();
+      cost = compile_cost(cost_expr);
+      scope_.pop_back();
+    }
+
+    program::BodyFn body =
+        opts_.bodies ? opts_.bodies(name) : program::BodyFn{};
+    Bound b = compile_bound(hi);
+    program::NodePtr node =
+        doacross ? program::doacross(std::move(name), std::move(b), spec,
+                                     std::move(body), std::move(cost))
+                 : program::doall(std::move(name), std::move(b),
+                                  std::move(body), std::move(cost));
+    node->src_var = var;
+    node->src_bound = hi->to_string();
+    node->src_cost = cost_src;
+    return node;
+  }
+
+  NodePtr parse_if() {
+    take();  // IF
+    expect(Tok::kLParen, "'('");
+    ExprPtr cond = parse_expr(/*leaf_var_visible=*/false);
+    expect(Tok::kRParen, "')'");
+    expect_keyword("THEN");
+    NodeSeq then_branch = parse_block(/*stop_on_else=*/true);
+    if (then_branch.empty()) throw err("empty THEN branch");
+    NodeSeq else_branch;
+    if (at_keyword("ELSE")) {
+      take();
+      else_branch = parse_block(/*stop_on_else=*/false);
+      if (else_branch.empty()) throw err("empty ELSE branch");
+    }
+    expect_keyword("END");
+    program::NodePtr node = program::if_then_else(
+        compile_cond(cond), std::move(then_branch), std::move(else_branch));
+    node->src_cond = cond->to_string();
+    return node;
+  }
+
+  NodePtr parse_sections() {
+    take();  // SECTIONS
+    std::vector<NodeSeq> branches;
+    while (at_keyword("SECTION")) {
+      take();
+      // The synthetic selector loop of the desugared form will occupy one
+      // index-vector slot; branch contents must account for it.
+      ++next_slot_;
+      NodeSeq branch = parse_block(/*stop_on_else=*/false);
+      --next_slot_;
+      if (branch.empty()) throw err("empty SECTION");
+      branches.push_back(std::move(branch));
+    }
+    if (branches.empty()) throw err("SECTIONS requires at least one SECTION");
+    expect_keyword("END");
+    return program::sections(std::move(branches));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ParseOptions opts_;
+  std::vector<ScopeVar> scope_;
+  i32 next_slot_ = 1;  // slot 0 is the wrapper
+  std::set<std::string> leaf_names_;
+};
+
+}  // namespace
+
+NodeSeq parse_to_ast(std::string_view source, const ParseOptions& opts) {
+  return Parser(source, opts).parse();
+}
+
+program::NestedLoopProgram parse_program(std::string_view source,
+                                         const ParseOptions& opts) {
+  return program::NestedLoopProgram(parse_to_ast(source, opts));
+}
+
+}  // namespace selfsched::lang

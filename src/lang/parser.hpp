@@ -1,0 +1,53 @@
+// Parser for the loop-nest mini-language — the textual front end standing
+// in for the paper's instrumenting Fortran compiler [19].  Grammar
+// (keywords case-insensitive, `!` comments, newline-insensitive):
+//
+//   program    := construct+
+//   construct  := DOALL var '=' 1 ',' expr block END          parallel loop
+//               | DO    var '=' 1 ',' expr block END          serial loop
+//               | LOOP name var '=' 1 ',' expr [COST expr]    innermost Doall
+//               | DOACROSS name var '=' 1 ',' expr
+//                     [DIST int] [POST int]  [COST expr]      innermost
+//                                                             Doacross
+//                                                             (POST = % of
+//                                                             body before
+//                                                             the source)
+//               | IF '(' expr ')' THEN block [ELSE block] END
+//               | SECTIONS (SECTION block)+ END               §II-B vertical
+//                                                             parallelism
+//   expr       := || over && over comparisons over +- over */% over unary
+//                  (NOT, -) over atoms: integers, loop variables in scope,
+//                  named parameters, parentheses
+//
+// Loop lower bounds are fixed at 1 (the paper's normalized form); upper
+// bounds, conditions and costs may read any enclosing loop index; COST may
+// additionally read the leaf's own index variable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "lang/lexer.hpp"
+#include "program/tables.hpp"
+
+namespace selfsched::lang {
+
+struct ParseOptions {
+  /// Named compile-time constants usable in any expression.
+  std::map<std::string, i64> params;
+  /// Optional body hook attached to every leaf, keyed by leaf name.
+  program::BodyFactory bodies;
+};
+
+/// Parse to the loop-nest AST.  Throws ParseError with line/column on any
+/// lexical, syntactic, or scope error (unknown variable, reserved name,
+/// non-constant lower bound, duplicate leaf name...).
+program::NodeSeq parse_to_ast(std::string_view source,
+                              const ParseOptions& opts = {});
+
+/// Parse, validate and compile in one step.
+program::NestedLoopProgram parse_program(std::string_view source,
+                                         const ParseOptions& opts = {});
+
+}  // namespace selfsched::lang

@@ -1,0 +1,102 @@
+#include "lang/printer.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace selfsched::lang {
+
+namespace {
+
+using program::Node;
+using program::NodeKind;
+using program::NodeSeq;
+
+class Printer {
+ public:
+  std::string run(const NodeSeq& top) {
+    emit_seq(top, 0);
+    return os_.str();
+  }
+
+ private:
+  void indent(int depth) {
+    for (int i = 0; i < depth; ++i) os_ << "  ";
+  }
+
+  static const std::string& require(const std::string& s, const char* what) {
+    if (s.empty()) {
+      throw std::logic_error(
+          std::string("to_source: node lacks source annotation for ") +
+          what + " (only parsed programs are printable)");
+    }
+    return s;
+  }
+
+  void emit_seq(const NodeSeq& seq, int depth) {
+    for (const auto& n : seq) emit(*n, depth);
+  }
+
+  void emit(const Node& n, int depth) {
+    switch (n.kind) {
+      case NodeKind::kParallelLoop:
+      case NodeKind::kSerialLoop:
+        indent(depth);
+        os_ << (n.kind == NodeKind::kParallelLoop ? "DOALL " : "DO ")
+            << require(n.src_var, "loop variable") << " = 1, "
+            << require(n.src_bound, "loop bound") << "\n";
+        emit_seq(n.children, depth + 1);
+        indent(depth);
+        os_ << "END\n";
+        break;
+
+      case NodeKind::kIf:
+        indent(depth);
+        os_ << "IF (" << require(n.src_cond, "condition") << ") THEN\n";
+        emit_seq(n.children, depth + 1);
+        if (!n.else_children.empty()) {
+          indent(depth);
+          os_ << "ELSE\n";
+          emit_seq(n.else_children, depth + 1);
+        }
+        indent(depth);
+        os_ << "END\n";
+        break;
+
+      case NodeKind::kSections:
+        indent(depth);
+        os_ << "SECTIONS\n";
+        for (const NodeSeq& branch : n.section_branches) {
+          indent(depth + 1);
+          os_ << "SECTION\n";
+          emit_seq(branch, depth + 2);
+        }
+        indent(depth);
+        os_ << "END\n";
+        break;
+
+      case NodeKind::kInnermost:
+        indent(depth);
+        os_ << (n.doacross ? "DOACROSS " : "LOOP ") << n.name << " "
+            << require(n.src_var, "loop variable") << " = 1, "
+            << require(n.src_bound, "loop bound");
+        if (n.doacross) {
+          os_ << " DIST " << n.doacross->distance;
+          const i64 post = static_cast<i64>(n.doacross->post_fraction * 100.0 + 0.5);
+          os_ << " POST " << post;
+        }
+        if (!n.src_cost.empty()) os_ << " COST " << n.src_cost;
+        os_ << "\n";
+        break;
+    }
+  }
+
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string to_source(const NodeSeq& top) { return Printer().run(top); }
+
+}  // namespace selfsched::lang

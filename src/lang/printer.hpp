@@ -1,0 +1,20 @@
+// Pretty-printer: render a parsed loop-nest AST back to mini-language
+// source.  Requires the source annotations the parser records on each node
+// (hand-built ASTs with lambda bounds/conditions cannot be printed; the
+// printer throws std::logic_error for them).  parse(to_source(parse(s)))
+// compiles to identical tables — the round-trip property tests rely on it.
+#pragma once
+
+#include <string>
+
+#include "program/ast.hpp"
+
+namespace selfsched::lang {
+
+/// Render the pre-normalization AST (as returned by parse_to_ast; the
+/// compiled NestedLoopProgram has SECTIONS desugared and is printed as its
+/// desugared form only if annotations survived, which they do not for the
+/// synthetic selector conditions — print from parse_to_ast output).
+std::string to_source(const program::NodeSeq& top);
+
+}  // namespace selfsched::lang

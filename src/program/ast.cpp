@@ -1,0 +1,75 @@
+#include "program/ast.hpp"
+
+#include "common/check.hpp"
+
+namespace selfsched::program {
+
+namespace {
+
+NodePtr make_loop(NodeKind kind, Bound bound, NodeSeq body) {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  n->bound = std::move(bound);
+  n->children = std::move(body);
+  return n;
+}
+
+}  // namespace
+
+NodePtr par(Bound bound, NodeSeq body) {
+  return make_loop(NodeKind::kParallelLoop, std::move(bound),
+                   std::move(body));
+}
+
+NodePtr ser(Bound bound, NodeSeq body) {
+  return make_loop(NodeKind::kSerialLoop, std::move(bound), std::move(body));
+}
+
+NodePtr if_then_else(CondFn cond, NodeSeq then_branch, NodeSeq else_branch) {
+  SS_CHECK_MSG(cond != nullptr, "IF-THEN-ELSE requires a condition");
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kIf;
+  n->cond = std::move(cond);
+  n->children = std::move(then_branch);
+  n->else_children = std::move(else_branch);
+  return n;
+}
+
+NodePtr if_then(CondFn cond, NodeSeq then_branch) {
+  return if_then_else(std::move(cond), std::move(then_branch), {});
+}
+
+NodePtr doall(std::string name, Bound bound, BodyFn body, CostFn cost) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kInnermost;
+  n->name = std::move(name);
+  n->bound = std::move(bound);
+  n->body = std::move(body);
+  n->cost = std::move(cost);
+  return n;
+}
+
+NodePtr doacross(std::string name, Bound bound, DoacrossSpec spec,
+                 BodyFn body, CostFn cost) {
+  SS_CHECK_MSG(spec.distance >= 1, "Doacross distance must be >= 1");
+  SS_CHECK_MSG(spec.post_fraction >= 0.0 && spec.post_fraction <= 1.0,
+               "Doacross post_fraction must lie in [0, 1]");
+  auto n = doall(std::move(name), std::move(bound), std::move(body),
+                 std::move(cost));
+  n->doacross = spec;
+  return n;
+}
+
+NodePtr scalar(std::string name, BodyFn body, CostFn cost) {
+  return doall(std::move(name), Bound{1}, std::move(body), std::move(cost));
+}
+
+NodePtr sections(std::vector<NodeSeq> branches) {
+  SS_CHECK_MSG(!branches.empty(), "PARALLEL SECTIONS needs >= 1 branch");
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kSections;
+  n->section_branches = std::move(branches);
+  return n;
+}
+
+}  // namespace selfsched::program

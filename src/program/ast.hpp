@@ -1,0 +1,166 @@
+// Abstract syntax of a *general parallel nested loop* (§II-B):
+//   - parallel loops (Doall or Doacross) and serial loops nested arbitrarily,
+//   - loop bounds that may be functions of outer-loop indices,
+//   - IF-THEN-ELSE constructs whose branches may contain further loops and
+//     IF-THEN-ELSE constructs,
+//   - innermost parallel loops as the schedulable leaves (scalar code is a
+//     bound-1 leaf, per the paper's normalization).
+//
+// Programs are built with the free functions at the bottom (par/ser/doall/
+// doacross/scalar/if_then/if_then_else) and handed to NestedLoopProgram
+// (program/tables.hpp), which validates them and compiles the paper's
+// DEPTH / BOUND / DESCRPT representation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/small_vec.hpp"
+#include "common/types.hpp"
+
+namespace selfsched::program {
+
+/// A loop bound: a compile-time constant or an expression over the indices
+/// of the enclosing loops (the paper allows "loop bounds in different levels
+/// [to] be functions of the indexes of outer loops").  The expression
+/// receives the enclosing-loop index vector; entries [0, level-1] are valid.
+struct Bound {
+  i64 constant = 0;
+  std::function<i64(const IndexVec&)> expr;  // null => constant
+
+  Bound() = default;
+  /*implicit*/ Bound(i64 c) : constant(c) {}  // NOLINT: by-design sugar
+  /*implicit*/ Bound(std::function<i64(const IndexVec&)> e)
+      : expr(std::move(e)) {}
+
+  bool is_constant() const { return !expr; }
+
+  i64 eval(const IndexVec& outer) const {
+    return expr ? expr(outer) : constant;
+  }
+};
+
+/// IF-THEN-ELSE condition over the enclosing-loop index vector.
+using CondFn = std::function<bool(const IndexVec&)>;
+
+/// Loop body of an innermost parallel loop: called once per iteration with
+/// the executing processor, the enclosing-loop index vector, and the
+/// (1-based) iteration index.  Must be safe to call concurrently for
+/// distinct iterations.
+using BodyFn = std::function<void(ProcId, const IndexVec&, i64)>;
+
+/// Cost model of one iteration in simulated cycles (virtual-time engine) or
+/// synthetic spin units (threaded engine).  Null means Options::default
+/// body cost.
+using CostFn = std::function<Cycles(const IndexVec&, i64)>;
+
+/// Factory giving each leaf a body callback, keyed by leaf name; used by
+/// program generators and tests to hook iteration recording into every leaf.
+using BodyFactory = std::function<BodyFn(const std::string&)>;
+
+/// Cross-iteration dependences of a Doacross loop [15]: iteration j may not
+/// start its dependent region until iteration j-d has executed the
+/// dependence *source* statement (located after `post_fraction` of the
+/// body) for the primary `distance` d and every entry of
+/// `extra_distances`.  With a single distance this is the classic Cytron
+/// model; multiple distances model loops carrying several recurrences.
+struct DoacrossSpec {
+  i64 distance = 1;
+  double post_fraction = 0.5;
+  SmallVec<i64, 4> extra_distances{};
+};
+
+enum class NodeKind : u32 {
+  kParallelLoop,
+  kSerialLoop,
+  kIf,
+  kInnermost,
+  /// PCF-Fortran-style PARALLEL SECTIONS (§II-B "vertical parallelism"):
+  /// the branches execute concurrently; the construct completes when all
+  /// branches do.  Desugared during normalization into a parallel loop of
+  /// bound k whose body selects the branch by the loop index through an
+  /// IF-THEN-ELSE chain, so the scheduler needs no new mechanism — the
+  /// loop's BAR_COUNT is the sections join.
+  kSections,
+};
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+using NodeSeq = std::vector<NodePtr>;
+
+struct Node {
+  NodeKind kind;
+
+  // kParallelLoop / kSerialLoop / kInnermost
+  Bound bound;
+
+  // kParallelLoop / kSerialLoop: loop body; kIf: TRUE branch.
+  NodeSeq children;
+
+  // kIf
+  CondFn cond;
+  NodeSeq else_children;  // may be empty (the FALSE branch is optional)
+
+  // kInnermost
+  std::string name;  // diagnostic label ("A", "B", ... auto-assigned if empty)
+  std::optional<DoacrossSpec> doacross;  // engaged => Doacross, else Doall
+  BodyFn body;                           // may be null (cost-only workloads)
+  CostFn cost;                           // may be null (body-only programs)
+
+  // kSections: the concurrent branches (desugared away by normalization).
+  std::vector<NodeSeq> section_branches;
+
+  /// Source annotations, filled by the mini-language parser (empty for
+  /// hand-built ASTs): the spelled loop variable and the expression texts.
+  /// Used by lang::to_source() to print a program back out; purely
+  /// diagnostic otherwise.
+  std::string src_var;
+  std::string src_bound;
+  std::string src_cond;
+  std::string src_cost;
+};
+
+/// Parallel container loop (a Doall whose body holds further constructs).
+NodePtr par(Bound bound, NodeSeq body);
+
+/// Serial container loop.
+NodePtr ser(Bound bound, NodeSeq body);
+
+/// IF-THEN-ELSE with both branches.
+NodePtr if_then_else(CondFn cond, NodeSeq then_branch, NodeSeq else_branch);
+
+/// IF-THEN with an empty FALSE branch.
+NodePtr if_then(CondFn cond, NodeSeq then_branch);
+
+/// Innermost Doall parallel loop (a schedulable leaf).
+NodePtr doall(std::string name, Bound bound, BodyFn body = nullptr,
+              CostFn cost = nullptr);
+
+/// Innermost Doacross parallel loop.
+NodePtr doacross(std::string name, Bound bound, DoacrossSpec spec,
+                 BodyFn body = nullptr, CostFn cost = nullptr);
+
+/// Scalar code between parallel constructs: per the paper, "treated as a
+/// special parallel loop with loop upper bound being 1".
+NodePtr scalar(std::string name, BodyFn body = nullptr,
+               CostFn cost = nullptr);
+
+/// PARALLEL SECTIONS: the branches run concurrently and join before the
+/// following construct (§II-B vertical parallelism).  Every branch must be
+/// non-empty.
+NodePtr sections(std::vector<NodeSeq> branches);
+
+/// Convenience: build a NodeSeq from movable nodes.
+template <typename... Ns>
+NodeSeq seq(Ns&&... ns) {
+  NodeSeq s;
+  s.reserve(sizeof...(ns));
+  (s.push_back(std::forward<Ns>(ns)), ...);
+  return s;
+}
+
+}  // namespace selfsched::program

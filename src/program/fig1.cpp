@@ -1,0 +1,37 @@
+#include "program/fig1.hpp"
+
+namespace selfsched::program {
+
+NodeSeq make_fig1_ast(const Fig1Params& p, const BodyFactory& bodies) {
+  const Cycles c = p.body_cost;
+  auto cost = [c](const IndexVec&, i64) { return c; };
+  auto leaf = [&](const char* name, i64 bound) {
+    return doall(name, bound, bodies ? bodies(name) : BodyFn{}, cost);
+  };
+  // The condition reads I, the level-2 loop index (the wrapper is level 1).
+  auto i_is_odd = [](const IndexVec& ivec) { return ivec[1] % 2 == 1; };
+
+  NodeSeq top;
+  top.push_back(par(
+      p.ni,
+      seq(leaf("A", p.na),
+          par(p.nj, seq(leaf("B", p.nb),
+                        ser(p.nk, seq(leaf("C", p.nc), leaf("D", p.nd))),
+                        leaf("E", p.ne))),
+          if_then_else(i_is_odd, seq(leaf("F", p.nf)), seq(leaf("G", p.ng))),
+          leaf("H", p.nh))));
+  return top;
+}
+
+NestedLoopProgram make_fig1(const Fig1Params& p, const BodyFactory& bodies) {
+  return NestedLoopProgram(make_fig1_ast(p, bodies));
+}
+
+i64 fig1_total_iterations(const Fig1Params& p) {
+  const i64 odd_i = (p.ni + 1) / 2;  // I in 1..ni with I odd
+  const i64 even_i = p.ni / 2;
+  const i64 per_j = p.nb + p.nk * (p.nc + p.nd) + p.ne;
+  return p.ni * (p.na + p.nj * per_j + p.nh) + odd_i * p.nf + even_i * p.ng;
+}
+
+}  // namespace selfsched::program

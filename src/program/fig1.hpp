@@ -1,0 +1,60 @@
+// The canonical general parallel nested loop used throughout the tests,
+// benches and examples — shaped after the paper's Fig. 1: eight innermost
+// parallel loops A..H, with a parallel loop nested in a parallel loop, a
+// serial loop between parallel constructs, a sequence of constructs at each
+// level, and an IF-THEN-ELSE whose branches hold parallel loops.
+//
+//   parallel I (1..ni):
+//     A: innermost parallel (1..na)
+//     parallel J (1..nj):
+//       B: innermost parallel (1..nb)
+//       serial K (1..nk):
+//         C: innermost parallel (1..nc)
+//         D: innermost parallel (1..nd)
+//       E: innermost parallel (1..ne)
+//     if (I odd):
+//       F: innermost parallel (1..nf)
+//     else:
+//       G: innermost parallel (1..ng)
+//     H: innermost parallel (1..nh)
+//
+// Exactly the paper's example behaviours arise: completing A(i) activates
+// the nj instances of B under it; completing D at serial iteration k
+// activates C at k+1, or E when K is exhausted; the barrier on J activates
+// the IF evaluation; the diamond activates F or G but never both.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "program/tables.hpp"
+
+namespace selfsched::program {
+
+struct Fig1Params {
+  i64 ni = 2;
+  i64 nj = 2;
+  i64 nk = 3;
+  i64 na = 4;
+  i64 nb = 6;
+  i64 nc = 5;
+  i64 nd = 5;
+  i64 ne = 6;
+  i64 nf = 4;
+  i64 ng = 4;
+  i64 nh = 8;
+  /// Simulated cycles per loop-body iteration (all leaves).
+  Cycles body_cost = 200;
+};
+
+NodeSeq make_fig1_ast(const Fig1Params& p = {},
+                      const BodyFactory& bodies = nullptr);
+
+NestedLoopProgram make_fig1(const Fig1Params& p = {},
+                            const BodyFactory& bodies = nullptr);
+
+/// Total loop-body iterations the program executes (closed form; the IF
+/// takes the TRUE branch for odd I).
+i64 fig1_total_iterations(const Fig1Params& p = {});
+
+}  // namespace selfsched::program

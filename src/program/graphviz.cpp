@@ -1,0 +1,40 @@
+// GraphViz rendering of a compiled program's static structure — the
+// activation edges (next / altern / descend) among innermost parallel loops,
+// i.e. the loop-level collapse of the paper's macro-dataflow graph (Fig. 4).
+#include <sstream>
+
+#include "program/tables.hpp"
+
+namespace selfsched::program {
+
+std::string NestedLoopProgram::to_dot() const {
+  std::ostringstream os;
+  os << "digraph macro_dataflow {\n";
+  os << "  rankdir=TB;\n  node [shape=circle fontname=\"monospace\"];\n";
+  for (u32 i = 0; i < tables_.num_loops(); ++i) {
+    const InnermostDesc& d = tables_.loops[i];
+    os << "  L" << i << " [label=\"" << d.name << "\\nd=" << d.depth
+       << (d.doacross ? " DA" : "") << "\"];\n";
+  }
+  os << "  entry [shape=point];\n  entry -> L" << tables_.entry << ";\n";
+  for (u32 i = 0; i < tables_.num_loops(); ++i) {
+    const InnermostDesc& d = tables_.loops[i];
+    for (Level j = 1; j <= d.depth; ++j) {
+      const LevelDesc& row = d.at_level(j);
+      if (row.next != kNoLoop) {
+        os << "  L" << i << " -> L" << row.next << " [label=\"next@" << j
+           << "\"];\n";
+      }
+      for (const Guard& g : row.guards) {
+        if (g.altern != kNoLoop) {
+          os << "  L" << i << " -> L" << g.altern
+             << " [style=dashed label=\"else@" << j << "\"];\n";
+        }
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace selfsched::program

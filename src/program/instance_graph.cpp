@@ -1,0 +1,323 @@
+#include "program/instance_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace selfsched::program {
+
+namespace {
+
+constexpr u32 kNoNode = 0xffffffffu;
+
+/// Serial symbolic execution of the high-level activation semantics
+/// (mirrors runtime::enter / runtime::exit_from, recording instead of
+/// scheduling).  Completion order is FIFO; the graph is order-independent.
+class GraphBuilder {
+ public:
+  GraphBuilder(const NestedLoopProgram& prog, Cycles default_cost,
+               u32 max_nodes)
+      : prog_(prog.tables()), default_cost_(default_cost),
+        max_nodes_(max_nodes) {}
+
+  InstanceGraph run() {
+    IndexVec ivec;
+    ivec.resize(std::max<Level>(prog_.max_depth, 1));
+    enter(prog_.entry, 0, ivec, kNoNode, {});
+    while (!worklist_.empty()) {
+      const u32 n = worklist_.front();
+      worklist_.pop_front();
+      complete(n);
+    }
+    return std::move(g_);
+  }
+
+ private:
+  using BarKey = std::pair<u32, std::vector<i64>>;  // (loop_uid, prefix)
+  struct BarState {
+    i64 count = 0;
+    std::vector<u32> arrived;
+  };
+
+  /// Activation bookkeeping passed along EXIT walks: the completing node
+  /// plus every barrier sibling consumed on the way up.
+  struct Gating {
+    u32 activator = kNoNode;
+    std::vector<u32> joined;
+  };
+
+  void complete(u32 n) {
+    const InstanceNode& node = g_.nodes[n];
+    const InnermostDesc& d = prog_.loops[node.loop];
+    IndexVec ivec = node.ivec;
+    Gating gate{n, {}};
+    const Level lev = exit_from(node.loop, d.depth, ivec, &gate);
+    if (lev != 0) {
+      const LoopId targ = d.at_level(lev).next;
+      SS_DCHECK(targ != kNoLoop);
+      enter(targ, lev, ivec, gate.activator, gate.joined);
+    }
+  }
+
+  /// Mirrors runtime::exit_from; on barrier trips, absorbs the sibling
+  /// arrivals into `gate`.
+  Level exit_from(LoopId i, Level from_level, IndexVec& ivec, Gating* gate) {
+    const InnermostDesc& d = prog_.loops[i];
+    for (Level lvl = from_level; lvl >= 1; --lvl) {
+      const LevelDesc& row = d.at_level(lvl);
+      if (!row.last) return lvl;
+      const i64 bound = row.bound.eval(ivec);
+      SS_CHECK_MSG(bound >= 0, "negative bound during instance enumeration");
+      if (row.parallel) {
+        if (!bar_arrival(row.loop_uid, lvl, ivec, bound, gate)) return 0;
+      } else {
+        if (ivec[lvl - 1] < bound) {
+          ivec[lvl - 1] += 1;
+          return lvl;
+        }
+      }
+    }
+    return 0;
+  }
+
+  bool bar_arrival(u32 uid, Level lvl, const IndexVec& ivec, i64 bound,
+                   Gating* gate) {
+    BarKey key{uid, {}};
+    key.second.assign(ivec.begin(), ivec.begin() + (lvl - 1));
+    BarState& bar = bars_[key];
+    if (gate->activator != kNoNode) bar.arrived.push_back(gate->activator);
+    // Vacuous arrivals (skipped IFs, zero-trip loops) contribute their own
+    // gating context's joins so no predecessor is lost.
+    for (const u32 j : gate->joined) bar.arrived.push_back(j);
+    bar.count += 1;
+    if (bar.count < bound) return false;
+    // Tripped: the successor is gated by every arrival.
+    std::vector<u32> all = std::move(bar.arrived);
+    bars_.erase(key);
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    gate->joined = std::move(all);
+    // Keep the original activator as the "direct" edge if it arrived here;
+    // otherwise promote the first sibling.
+    if (!gate->joined.empty()) {
+      gate->activator = gate->joined.front();
+    }
+    return true;
+  }
+
+  /// Mirrors runtime::enter (guard chains, zero-trip handling, parallel
+  /// fan-out), creating nodes.
+  void enter(LoopId cur, Level level, IndexVec& ivec, u32 activator,
+             std::vector<u32> joined) {
+    const CompiledProgram& prog = prog_;
+    for (;;) {
+      const InnermostDesc* d = &prog.loops[cur];
+      if (level >= 1) {
+        const LevelDesc* row = &d->at_level(level);
+        u32 gi = 0;
+        bool moved = false;
+        while (gi < row->guards.size()) {
+          const Guard& gd = row->guards[gi];
+          if (gd.cond(ivec)) {
+            ++gi;
+            continue;
+          }
+          if (gd.altern != kNoLoop) {
+            cur = gd.altern;
+            d = &prog.loops[cur];
+            row = &d->at_level(level);
+            gi = gd.altern_start;
+            continue;
+          }
+          if (!gd.skip_last) {
+            cur = gd.skip_next;
+            moved = true;
+            break;
+          }
+          Gating gate{activator, joined};
+          const LevelDesc& lrow = d->at_level(level);
+          const i64 lbound = lrow.bound.eval(ivec);
+          if (lrow.parallel) {
+            if (!bar_arrival(lrow.loop_uid, level, ivec, lbound, &gate)) {
+              return;
+            }
+          } else if (ivec[level - 1] < lbound) {
+            ivec[level - 1] += 1;
+            cur = gd.skip_next;
+            moved = true;
+            break;
+          }
+          if (!moved) {
+            const Level lev = exit_from(cur, level - 1, ivec, &gate);
+            if (lev == 0) return;
+            activator = gate.activator;
+            joined = gate.joined;
+            cur = d->at_level(lev).next;
+            level = lev;
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;
+      }
+
+      if (level == d->depth) {
+        const i64 b = d->bound.eval(ivec);
+        SS_CHECK_MSG(b >= 0, "negative bound during instance enumeration");
+        if (b == 0) {
+          Gating gate{activator, joined};
+          const Level lev = exit_from(cur, level, ivec, &gate);
+          if (lev == 0) return;
+          activator = gate.activator;
+          joined = gate.joined;
+          cur = d->at_level(lev).next;
+          level = lev;
+          continue;
+        }
+        create_node(cur, ivec, b, activator, joined);
+        return;
+      }
+
+      const Level child = level + 1;
+      const LevelDesc& crow = d->at_level(child);
+      const i64 m = crow.bound.eval(ivec);
+      SS_CHECK_MSG(m >= 0, "negative bound during instance enumeration");
+      if (m == 0) {
+        Gating gate{activator, joined};
+        const Level lev = exit_from(cur, level, ivec, &gate);
+        if (lev == 0) return;
+        activator = gate.activator;
+        joined = gate.joined;
+        cur = d->at_level(lev).next;
+        level = lev;
+        continue;
+      }
+      if (crow.parallel) {
+        for (i64 k = 1; k <= m; ++k) {
+          ivec[child - 1] = k;
+          enter(cur, child, ivec, activator, joined);
+        }
+        return;
+      }
+      ivec[child - 1] = 1;
+      level = child;
+    }
+  }
+
+  void create_node(LoopId loop, const IndexVec& ivec, i64 b, u32 activator,
+                   const std::vector<u32>& joined) {
+    if (g_.nodes.size() >= max_nodes_) {
+      throw std::logic_error(
+          "instance graph exceeds max_nodes; raise the limit or shrink the "
+          "program");
+    }
+    const InnermostDesc& d = prog_.loops[loop];
+    InstanceNode node;
+    node.loop = loop;
+    node.ivec = ivec;
+    node.bound = b;
+    for (i64 j = 1; j <= b; ++j) {
+      const Cycles c = d.cost ? d.cost(ivec, j) : default_cost_;
+      node.body_cost += c;
+      node.max_iter_cost = std::max(node.max_iter_cost, c);
+    }
+    // Predecessors: activator + barrier siblings, deduplicated.
+    std::vector<u32> preds = joined;
+    if (activator != kNoNode) preds.push_back(activator);
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    node.preds = preds;
+
+    const u32 id = static_cast<u32>(g_.nodes.size());
+    g_.nodes.push_back(std::move(node));
+    if (activator == kNoNode) {
+      g_.initial.push_back(id);
+    }
+    if (activator != kNoNode) {
+      g_.nodes[activator].activates.push_back(id);
+    }
+    worklist_.push_back(id);
+  }
+
+  const CompiledProgram& prog_;
+  Cycles default_cost_;
+  u32 max_nodes_;
+  InstanceGraph g_;
+  std::map<BarKey, BarState> bars_;
+  std::deque<u32> worklist_;
+};
+
+}  // namespace
+
+u64 InstanceGraph::total_iterations() const {
+  u64 t = 0;
+  for (const InstanceNode& n : nodes) t += static_cast<u64>(n.bound);
+  return t;
+}
+
+Cycles InstanceGraph::total_work() const {
+  Cycles t = 0;
+  for (const InstanceNode& n : nodes) t += n.body_cost;
+  return t;
+}
+
+Cycles InstanceGraph::critical_path() const {
+  return critical_path(0.0);
+}
+
+Cycles InstanceGraph::critical_path(double procs_per_instance) const {
+  // Node creation order is topological (every pred is created earlier).
+  std::vector<Cycles> finish(nodes.size(), 0);
+  Cycles best = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const InstanceNode& n = nodes[i];
+    Cycles start = 0;
+    for (const u32 p : n.preds) {
+      SS_DCHECK(p < i);
+      start = std::max(start, finish[p]);
+    }
+    Cycles weight = n.max_iter_cost;  // unlimited width within the instance
+    if (procs_per_instance > 0.0) {
+      weight = std::max(
+          weight, static_cast<Cycles>(static_cast<double>(n.body_cost) /
+                                      procs_per_instance));
+    }
+    finish[i] = start + weight;
+    best = std::max(best, finish[i]);
+  }
+  return best;
+}
+
+std::string InstanceGraph::to_dot(const CompiledProgram& prog) const {
+  std::ostringstream os;
+  os << "digraph instances {\n  rankdir=TB;\n"
+     << "  node [shape=circle fontname=\"monospace\" fontsize=10];\n";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const InstanceNode& n = nodes[i];
+    os << "  n" << i << " [label=\"" << prog.loops[n.loop].name;
+    for (Level l = 2; l <= prog.loops[n.loop].depth; ++l) {
+      os << (l == 2 ? "\\n" : ",") << n.ivec[l - 1];
+    }
+    os << "\"];\n";
+  }
+  os << "  start [shape=point];\n";
+  for (const u32 i : initial) os << "  start -> n" << i << ";\n";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (const u32 p : nodes[i].preds) {
+      os << "  n" << p << " -> n" << i << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+InstanceGraph build_instance_graph(const NestedLoopProgram& prog,
+                                   Cycles default_body_cost, u32 max_nodes) {
+  return GraphBuilder(prog, default_body_cost, max_nodes).run();
+}
+
+}  // namespace selfsched::program

@@ -1,0 +1,67 @@
+// The instance-level macro-dataflow graph (the paper's Fig. 4): one node
+// per *instance* of an innermost parallel loop — an invocation with a
+// concrete enclosing-index vector — and one edge per activation the
+// high-level scheme performs (completion -> successor, barrier joins,
+// serial-loop continuation, IF branch selection).
+//
+// Built by a serial symbolic execution of EXIT/ENTER over the compiled
+// tables (no workers, no pool): the exact activation relation the runtime
+// will realize, usable for
+//   * rendering Fig. 4 (to_dot),
+//   * computing the DAG's total work T1 and critical path T_inf, which
+//     bound achievable speedup (Brent: T_P <= T1/P + T_inf) — the
+//     principled version of "the serial loop K limits the parallelism",
+//   * test oracles for the instance set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "program/tables.hpp"
+
+namespace selfsched::program {
+
+struct InstanceNode {
+  LoopId loop = kNoLoop;
+  IndexVec ivec;    // enclosing indices (meaningful prefix = loop depth)
+  i64 bound = 0;    // iterations of this instance
+  Cycles body_cost = 0;     // Σ cost over its iterations
+  Cycles max_iter_cost = 0;  // heaviest single iteration
+  /// Instances whose completion gates this one: the direct activator plus
+  /// every barrier sibling whose arrival the activation waited on.
+  std::vector<u32> preds;
+  /// Successor instances this node's completion directly activated.
+  std::vector<u32> activates;
+};
+
+struct InstanceGraph {
+  std::vector<InstanceNode> nodes;
+  std::vector<u32> initial;  // nodes active at program start
+
+  u64 total_iterations() const;
+  Cycles total_work() const;  // T1: Σ body cost over all instances
+
+  /// Critical path length T_inf: the longest body-cost-weighted chain
+  /// through the activation/join edges, treating each instance's own
+  /// iterations as perfectly parallel except that an instance needs at
+  /// least ceil(bound/width)... — we charge each instance its maximum
+  /// single-iteration cost (unlimited processors within an instance).
+  Cycles critical_path() const;
+
+  /// Like critical_path(), but an instance on the path costs its full
+  /// body time divided by `procs_per_instance` (bounded parallelism
+  /// within instances), capped below by its max iteration cost.
+  Cycles critical_path(double procs_per_instance) const;
+
+  /// GraphViz DOT of the instance DAG (the paper's Fig. 4).
+  std::string to_dot(const CompiledProgram& prog) const;
+};
+
+/// Enumerate the instance graph by serial symbolic execution.  Throws
+/// std::logic_error if the instance count exceeds `max_nodes` (guard for
+/// combinatorially large programs).
+InstanceGraph build_instance_graph(const NestedLoopProgram& prog,
+                                   Cycles default_body_cost = 100,
+                                   u32 max_nodes = 1 << 20);
+
+}  // namespace selfsched::program

@@ -1,0 +1,26 @@
+// Validation and normalization of a loop-nest AST (§II-B): checks the
+// structural rules the paper's scheme assumes, and assigns diagnostic names
+// to anonymous innermost loops.  The heavier normalization steps the paper
+// describes — scalar code as bound-1 parallel loops, innermost serial loops
+// absorbed into leaf bodies — are expressed directly by the builder API
+// (program/ast.hpp), so this pass only has to verify shape.
+#pragma once
+
+#include "common/types.hpp"
+#include "program/ast.hpp"
+
+namespace selfsched::program {
+
+struct ValidationInfo {
+  u32 num_leaves = 0;
+  /// Deepest loop nesting, counting the implicit serial wrapper (level 1).
+  Level max_depth = 0;
+};
+
+/// Throws std::logic_error on: empty container-loop bodies, empty TRUE
+/// branches, leaves with children, negative constant bounds, or nesting
+/// deeper than kMaxDepth-1 (one level is reserved for the wrapper).
+/// Assigns "L<k>" names (1-based, textual order) to unnamed leaves.
+ValidationInfo validate_and_name(NodeSeq& top_level);
+
+}  // namespace selfsched::program

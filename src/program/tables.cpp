@@ -1,0 +1,253 @@
+#include "program/tables.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "program/normalize.hpp"
+
+namespace selfsched::program {
+
+namespace {
+
+/// Sequencing-and-guard context of one enclosing loop on the current path:
+/// {parallel, bound} describe the loop itself; {next, last, guards} describe
+/// the loop's own position as a construct within *its* parent (these become
+/// the parent level's DESCRPT fields for every leaf underneath).
+struct LevelCtx {
+  bool parallel;
+  const Bound* bound;
+  u32 loop_uid;
+  LoopId next;
+  bool last;
+  std::vector<Guard> guards;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const NodeSeq& top) : top_(top) {}
+
+  CompiledProgram run() {
+    number_seq(top_);
+    out_.entry = first_leaf_seq(top_);
+    // The implicit serial wrapper of bound 1 (level 1); see tables.hpp.
+    stack_.push_back(LevelCtx{/*parallel=*/false, &wrapper_bound_,
+                              /*loop_uid=*/0, /*next=*/kNoLoop,
+                              /*last=*/true, {}});
+    // The wrapper is serial, so its tail wraps like any serial loop; its
+    // bound of 1 means the wrap edge is never taken, but the invariant
+    // "serial last-rows carry a valid next" holds uniformly.
+    visit_seq(top_, /*entry_guards=*/{}, /*tail_next=*/out_.entry,
+              /*tail_last=*/true);
+    stack_.pop_back();
+    return std::move(out_);
+  }
+
+ private:
+  /// Pre-order numbering of innermost loops — the paper's "numbered from
+  /// the top to the bottom" — and initialization of their descriptors.
+  void number_seq(const NodeSeq& seq) {
+    for (const NodePtr& n : seq) number(*n);
+  }
+
+  void number(const Node& n) {
+    switch (n.kind) {
+      case NodeKind::kParallelLoop:
+      case NodeKind::kSerialLoop:
+        number_seq(n.children);
+        break;
+      case NodeKind::kIf:
+        number_seq(n.children);
+        number_seq(n.else_children);
+        break;
+      case NodeKind::kSections:
+        SS_FATAL("kSections must be desugared before compilation");
+      case NodeKind::kInnermost: {
+        const LoopId id = static_cast<LoopId>(out_.loops.size());
+        leaf_id_.emplace(&n, id);
+        InnermostDesc d;
+        d.name = n.name;
+        d.bound = n.bound;
+        d.doacross = n.doacross;
+        d.body = n.body;
+        d.cost = n.cost;
+        out_.loops.push_back(std::move(d));
+        break;
+      }
+    }
+  }
+
+  LoopId first_leaf(const Node& n) const {
+    switch (n.kind) {
+      case NodeKind::kParallelLoop:
+      case NodeKind::kSerialLoop:
+        return first_leaf_seq(n.children);
+      case NodeKind::kIf:
+        return first_leaf_seq(n.children);  // the TRUE branch is the entry
+      case NodeKind::kSections:
+        SS_FATAL("kSections must be desugared before compilation");
+      case NodeKind::kInnermost:
+        return leaf_id_.at(&n);
+    }
+    SS_FATAL("unreachable node kind");
+  }
+
+  LoopId first_leaf_seq(const NodeSeq& seq) const {
+    SS_DCHECK(!seq.empty());
+    return first_leaf(*seq.front());
+  }
+
+  /// Walk a construct sequence (a loop body or an IF branch).  Only element
+  /// 0 can be an activation entry carrying inherited guards; later elements
+  /// are reached through completed predecessors, so their conditions at this
+  /// level are already decided.
+  void visit_seq(const NodeSeq& seq, const std::vector<Guard>& entry_guards,
+                 LoopId tail_next, bool tail_last) {
+    for (std::size_t e = 0; e < seq.size(); ++e) {
+      static const std::vector<Guard> kNoGuards;
+      const std::vector<Guard>& g = (e == 0) ? entry_guards : kNoGuards;
+      const bool is_tail = (e + 1 == seq.size());
+      const LoopId next_e = is_tail ? tail_next : first_leaf(*seq[e + 1]);
+      const bool last_e = is_tail ? tail_last : false;
+      visit_element(*seq[e], g, next_e, last_e);
+    }
+  }
+
+  void visit_element(const Node& n, const std::vector<Guard>& g, LoopId next,
+                     bool last) {
+    switch (n.kind) {
+      case NodeKind::kParallelLoop:
+      case NodeKind::kSerialLoop: {
+        const bool parallel = n.kind == NodeKind::kParallelLoop;
+        // Inside a serial loop, the last construct's `next` wraps to the
+        // body's entry: its completion (when the serial index has not yet
+        // reached the bound) activates the first construct of the *next*
+        // serial iteration — the paper's "completion of an instance of D
+        // activates an instance of C in the next iteration of K".
+        const LoopId tail_next =
+            parallel ? kNoLoop : first_leaf_seq(n.children);
+        stack_.push_back(LevelCtx{parallel, &n.bound, ++loop_uid_counter_,
+                                  next, last, g});
+        visit_seq(n.children, /*entry_guards=*/{}, tail_next,
+                  /*tail_last=*/true);
+        stack_.pop_back();
+        break;
+      }
+
+      case NodeKind::kIf: {
+        // TRUE-branch entries append this guard to the inherited chain;
+        // FALSE-branch entries keep the inherited chain (when the altern
+        // jump lands there, evaluation resumes at altern_start — the first
+        // guard *inside* the FALSE branch — so the shared outer conditions
+        // are not re-evaluated).
+        Guard guard;
+        guard.cond = n.cond;
+        guard.altern = n.else_children.empty()
+                           ? kNoLoop
+                           : first_leaf_seq(n.else_children);
+        guard.altern_start = static_cast<u32>(g.size());
+        guard.skip_next = next;  // the element following THIS IF
+        guard.skip_last = last;
+        std::vector<Guard> then_chain = g;
+        then_chain.push_back(std::move(guard));
+        visit_seq(n.children, then_chain, next, last);
+        if (!n.else_children.empty()) {
+          visit_seq(n.else_children, g, next, last);
+        }
+        break;
+      }
+
+      case NodeKind::kSections:
+        SS_FATAL("kSections must be desugared before compilation");
+      case NodeKind::kInnermost: {
+        const LoopId id = leaf_id_.at(&n);
+        InnermostDesc& d = out_.loops[id];
+        const Level depth = static_cast<Level>(stack_.size());
+        d.depth = depth;
+        out_.max_depth = std::max(out_.max_depth, depth);
+        // DESCRPT_i(j) for j = 1..depth: loop info comes from the level-j
+        // loop (stack_[j-1]); sequencing and guards come from the construct
+        // directly inside it on this path — the level-(j+1) loop's own
+        // element context, or, at j == depth, this leaf's element context.
+        for (Level j = 1; j <= depth; ++j) {
+          const LevelCtx& loop_ctx = stack_[j - 1];
+          LevelDesc row;
+          row.parallel = loop_ctx.parallel;
+          row.bound = *loop_ctx.bound;
+          row.loop_uid = loop_ctx.loop_uid;
+          if (j < depth) {
+            const LevelCtx& child = stack_[j];
+            row.last = child.last;
+            row.next = child.next;
+            row.guards = child.guards;
+          } else {
+            row.last = last;
+            row.next = next;
+            row.guards = g;
+          }
+          d.levels.push_back(std::move(row));
+        }
+        break;
+      }
+    }
+  }
+
+  const NodeSeq& top_;
+  std::unordered_map<const Node*, LoopId> leaf_id_;
+  std::vector<LevelCtx> stack_;
+  CompiledProgram out_;
+  Bound wrapper_bound_{1};
+  u32 loop_uid_counter_ = 0;  // 0 is the wrapper
+};
+
+}  // namespace
+
+NestedLoopProgram::NestedLoopProgram(NodeSeq top_level)
+    : ast_(std::move(top_level)) {
+  validate_and_name(ast_);
+  tables_ = Compiler(ast_).run();
+}
+
+std::string NestedLoopProgram::describe() const {
+  std::ostringstream os;
+  os << "m = " << tables_.num_loops() << " innermost parallel loops\n";
+  for (u32 i = 0; i < tables_.num_loops(); ++i) {
+    const InnermostDesc& d = tables_.loops[i];
+    os << "[" << (i + 1) << "] " << d.name << "  DEPTH=" << d.depth
+       << "  BOUND="
+       << (d.bound.is_constant() ? std::to_string(d.bound.constant)
+                                 : std::string("expr"))
+       << (d.doacross ? "  DOACROSS(d=" + std::to_string(d.doacross->distance)
+                            + ")"
+                      : "")
+       << "\n";
+    for (Level j = 1; j <= d.depth; ++j) {
+      const LevelDesc& row = d.at_level(j);
+      os << "    level " << j << ": " << (row.parallel ? "par" : "ser")
+         << " bound="
+         << (row.bound.is_constant() ? std::to_string(row.bound.constant)
+                                     : std::string("expr"))
+         << " last=" << (row.last ? "y" : "n") << " next=";
+      if (row.next == kNoLoop) {
+        os << "-";
+      } else {
+        os << tables_.loops[row.next].name;
+      }
+      if (!row.guards.empty()) {
+        os << " guards=" << row.guards.size() << "[";
+        for (std::size_t k = 0; k < row.guards.size(); ++k) {
+          const Guard& gd = row.guards[k];
+          if (k) os << ",";
+          os << "altern="
+             << (gd.altern == kNoLoop ? std::string("-")
+                                      : tables_.loops[gd.altern].name)
+             << "@" << gd.altern_start;
+        }
+        os << "]";
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace selfsched::program

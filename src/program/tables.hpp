@@ -1,0 +1,134 @@
+// The paper's table representation of a general parallel nested loop
+// (§II-D, Figs. 5 and 6): arrays DEPTH(1:m) and BOUND(1:m) over the m
+// innermost parallel loops, plus a per-loop descriptor array DESCRPT_i with
+// one record per enclosing-loop level.  The runtime (SEARCH/EXIT/ENTER and
+// the low-level worker) executes *only* against these tables; the AST is
+// the front end that produces them.
+//
+// Two deliberate generalizations of the paper's record, both degenerating
+// to the paper's fields in the single-IF case:
+//
+//   1. Guard chains.  The paper stores one (conditnl, cond_exp, altern)
+//      triple per level; nested IF-THEN-ELSE constructs at the same level
+//      need a *chain* of conditions with distinct FALSE targets.  We store
+//      an ordered guard list; ENTER evaluates it outermost-first, and a
+//      FALSE verdict either jumps to the guard's `altern` entry loop
+//      (resuming that loop's chain at `altern_start`, so shared outer
+//      conditions are not re-evaluated) or — with an empty FALSE branch —
+//      completes the construct via the EXIT walk, exactly like the paper.
+//
+//   2. The whole program is wrapped in an implicit serial loop of bound 1
+//      ("the wrapper", level 1).  This gives top-level constructs the same
+//      last/next sequencing machinery as nested ones and makes the EXIT
+//      walk terminate uniformly at level 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/small_vec.hpp"
+#include "common/types.hpp"
+#include "program/ast.hpp"
+
+namespace selfsched::program {
+
+/// One IF guard evaluated when activation enters innermost loop `i` at a
+/// given level (see file comment, generalization 1).
+struct Guard {
+  CondFn cond;
+  /// Entry innermost loop of the FALSE branch; kNoLoop if the FALSE branch
+  /// is empty.
+  LoopId altern = kNoLoop;
+  /// Index into the altern loop's guard chain at which evaluation resumes.
+  u32 altern_start = 0;
+  /// Where activation proceeds when this guard is FALSE and the FALSE
+  /// branch is empty: the construct *this IF* skips to.  For a nested IF
+  /// that is followed by further constructs inside the outer THEN branch,
+  /// this differs from the outer element's `next` — the paper's single
+  /// (conditnl, altern) record conflates the two.  skip_last mirrors the
+  /// element `last` flag: true when this IF is the final construct of its
+  /// enclosing chain, so skipping it completes the level's body (EXIT
+  /// walk); skip_next then carries the serial wrap-around entry.
+  LoopId skip_next = kNoLoop;
+  bool skip_last = true;
+};
+
+/// DESCRPT_i(j): the enclosing loop at level j plus the construct
+/// sequencing and guard information consulted at that level.
+struct LevelDesc {
+  bool parallel = false;  // paper field `parallel`
+  Bound bound;            // paper field `bound` (of the enclosing loop)
+  /// Identity of the enclosing loop node (pre-order over container loops,
+  /// 0 = the implicit wrapper).  Distinct innermost loops under the same
+  /// enclosing parallel loop must increment the same BAR_COUNT counter;
+  /// the counter is keyed by (loop_uid, outer index prefix).
+  u32 loop_uid = 0;
+  bool last = true;       // paper field `last`
+  LoopId next = kNoLoop;  // paper field `next`
+  /// paper fields `conditnl`/`cond_exp`/`altern`, generalized to a chain.
+  std::vector<Guard> guards;
+};
+
+/// Everything the runtime needs to know about one innermost parallel loop:
+/// DEPTH(i), BOUND(i), DESCRPT_i, and the body/kind information the paper
+/// keeps in the instrumented code.
+struct InnermostDesc {
+  std::string name;
+  Level depth = 0;  // DEPTH(i): number of enclosing loops (>= 1: wrapper)
+  Bound bound;      // BOUND(i): iteration count of the innermost loop
+  std::optional<DoacrossSpec> doacross;
+  BodyFn body;
+  CostFn cost;
+  /// levels[j-1] is DESCRPT_i(j) for j in 1..depth.
+  SmallVec<LevelDesc, kMaxDepth> levels;
+
+  const LevelDesc& at_level(Level j) const {
+    SS_DCHECK(j >= 1 && j <= depth);
+    return levels[j - 1];
+  }
+};
+
+/// The compiled program: the paper's arrays, indexed by LoopId 0..m-1
+/// (printed 1-based to match the paper's numbering).
+struct CompiledProgram {
+  std::vector<InnermostDesc> loops;
+  /// Entry innermost loop (the paper's initially-active nodes are the
+  /// instances produced by ENTER(entry, 0)).
+  LoopId entry = kNoLoop;
+  /// Maximum depth over all loops (wrapper included); sizes index vectors.
+  Level max_depth = 0;
+
+  u32 num_loops() const { return static_cast<u32>(loops.size()); }
+};
+
+/// A validated general parallel nested loop: owns the AST and its compiled
+/// tables.  Immutable after construction; safe to share across workers.
+class NestedLoopProgram {
+ public:
+  /// Validates and compiles.  Throws std::logic_error on malformed input
+  /// (empty loop bodies, empty TRUE branch, nesting beyond kMaxDepth,
+  /// negative constant bounds).
+  explicit NestedLoopProgram(NodeSeq top_level);
+
+  const CompiledProgram& tables() const { return tables_; }
+  const NodeSeq& ast() const { return ast_; }
+
+  u32 num_loops() const { return tables_.num_loops(); }
+  const InnermostDesc& loop(LoopId i) const {
+    SS_DCHECK(i < tables_.loops.size());
+    return tables_.loops[i];
+  }
+
+  /// Human-readable table dump (the analogue of the paper's Figs. 5-6).
+  std::string describe() const;
+
+  /// GraphViz DOT of the static loop structure (program/graphviz.cpp).
+  std::string to_dot() const;
+
+ private:
+  NodeSeq ast_;
+  CompiledProgram tables_;
+};
+
+}  // namespace selfsched::program

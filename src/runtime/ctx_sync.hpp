@@ -1,0 +1,95 @@
+// Context-generic synchronization building blocks used by the scheduler:
+// the paper's lock protocol and the control word SW, expressed purely in
+// terms of ExecutionContext::sync_op so the virtual-time engine can
+// timestamp and charge every access (the standalone real-hardware versions
+// live in sync/).
+#pragma once
+
+#include <bit>
+#include <memory>
+
+#include "common/check.hpp"
+#include "exec/context.hpp"
+#include "sync/backoff.hpp"
+#include "sync/test_op.hpp"
+
+namespace selfsched::runtime {
+
+using sync::Op;
+using sync::Test;
+
+/// Paper lock acquire: spin: {L = 1; Decrement}; if (failure) goto spin.
+template <exec::ExecutionContext C>
+void ctx_lock(C& ctx, typename C::Sync& l) {
+  sync::Backoff backoff;
+  while (!ctx.sync_op(l, Test::kEQ, 1, Op::kDecrement).success) {
+    ctx.pause(backoff.next());
+  }
+}
+
+template <exec::ExecutionContext C>
+bool ctx_try_lock(C& ctx, typename C::Sync& l) {
+  return ctx.sync_op(l, Test::kEQ, 1, Op::kDecrement).success;
+}
+
+/// Paper lock release: {L; Increment}.
+template <exec::ExecutionContext C>
+void ctx_unlock(C& ctx, typename C::Sync& l) {
+  ctx.sync_op(l, Test::kNone, 0, Op::kIncrement);
+}
+
+/// Charge simulated bookkeeping cycles; a no-op on real hardware, where the
+/// bookkeeping itself takes the time.
+template <exec::ExecutionContext C>
+void charge_cycles([[maybe_unused]] C& ctx, [[maybe_unused]] Cycles c) {
+  if constexpr (C::kIsSimulated) ctx.charge(c);
+}
+
+/// The control word SW over context sync variables: bit i set while linked
+/// list i is non-empty.  leading_one() models the paper's hardware
+/// leading-one-detection: one Fetch per 64-bit word (a single instruction
+/// for m <= 64, exactly the paper's machine).
+template <exec::ExecutionContext C>
+class CtxControlWord {
+ public:
+  explicit CtxControlWord(u32 num_bits)
+      : num_bits_(num_bits),
+        num_words_((num_bits + 63) / 64),
+        words_(std::make_unique<typename C::Sync[]>(num_words_)) {
+    SS_CHECK(num_bits > 0);
+  }
+
+  static constexpr u32 kEmpty = 0xffffffffu;
+
+  void set(C& ctx, u32 i) {
+    SS_DCHECK(i < num_bits_);
+    ctx.sync_op(words_[i >> 6], Test::kNone, 0, Op::kFetchOr,
+                static_cast<i64>(u64{1} << (i & 63)));
+  }
+
+  void reset(C& ctx, u32 i) {
+    SS_DCHECK(i < num_bits_);
+    ctx.sync_op(words_[i >> 6], Test::kNone, 0, Op::kFetchAnd,
+                static_cast<i64>(~(u64{1} << (i & 63))));
+  }
+
+  /// First set bit, or kEmpty.  Each word inspected costs one Fetch.
+  u32 leading_one(C& ctx) {
+    for (u32 w = 0; w < num_words_; ++w) {
+      const u64 bits = static_cast<u64>(
+          ctx.sync_op(words_[w], Test::kNone, 0, Op::kFetch).fetched);
+      if (bits != 0) {
+        const u32 bit = w * 64 + static_cast<u32>(std::countr_zero(bits));
+        if (bit < num_bits_) return bit;
+      }
+    }
+    return kEmpty;
+  }
+
+ private:
+  u32 num_bits_;
+  u32 num_words_;
+  std::unique_ptr<typename C::Sync[]> words_;
+};
+
+}  // namespace selfsched::runtime

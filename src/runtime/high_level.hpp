@@ -1,0 +1,358 @@
+// High-level self-scheduling (§III-C): SEARCH (Algorithm 4), EXIT
+// (Algorithm 5) and ENTER (Algorithm 6), plus the shared scheduler state
+// they operate on.  All three are templated over the execution context and
+// contain the complete activation semantics of general parallel nested
+// loops: construct sequencing (`next`), barrier counting for enclosing
+// parallel loops, serial-loop continuation, and IF-THEN-ELSE guard chains.
+#pragma once
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "exec/context.hpp"
+#include "program/tables.hpp"
+#include "runtime/bar_count.hpp"
+#include "runtime/ctx_sync.hpp"
+#include "runtime/icb_pool.hpp"
+#include "runtime/options.hpp"
+#include "runtime/task_pool.hpp"
+
+namespace selfsched::runtime {
+
+/// Shared state of one scheduled program execution.
+template <exec::ExecutionContext C>
+struct SchedState {
+  SchedState(const program::CompiledProgram& p, const SchedOptions& o)
+      : prog(&p),
+        opts(o),
+        pool(o.central_queue ? 1u
+                             : p.num_loops() * std::max(1u, o.pool_shards)),
+        bars(o.bar_buckets) {
+    outstanding.reset(0);
+    done.reset(0);
+  }
+
+  /// Which task-pool list receives an instance of loop i appended by
+  /// processor `proc` (shard selection; searchers scan all lists via SW).
+  u32 list_of(LoopId i, ProcId proc = 0) const {
+    if (opts.central_queue) return 0;
+    const u32 shards = std::max(1u, opts.pool_shards);
+    return i * shards + (proc % shards);
+  }
+
+  const program::CompiledProgram* prog;
+  SchedOptions opts;
+  TaskPool<C> pool;
+  IcbPool<C> icbs;
+  BarCountTable<C> bars;
+
+  /// Activated-but-not-yet-released instance count; reaching 0 after
+  /// seeding is the stable all-done condition (successor ICBs are appended
+  /// *before* the completed instance is released, so the count cannot dip
+  /// to 0 while work remains).
+  typename C::Sync outstanding;
+  typename C::Sync done;
+};
+
+/// A worker's view of the instance it is currently scheduling from
+/// (Algorithm 3's local variables i, ip, b, loc_indexes).
+template <exec::ExecutionContext C>
+struct WorkerCursor {
+  LoopId i = kNoLoop;
+  Icb<C>* ip = nullptr;
+  i64 b = 0;
+  IndexVec ivec;
+};
+
+/// Simulated per-level cost helper.
+template <exec::ExecutionContext C>
+inline void charge_cost(C& ctx, Cycles vtime::CostModel::* member) {
+  if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().*member);
+  (void)ctx;
+  (void)member;
+}
+
+/// Evaluate a (possibly index-dependent) bound; charges the simulated
+/// expression-evaluation cost only for non-constant bounds.
+template <exec::ExecutionContext C>
+inline i64 eval_bound(C& ctx, const program::Bound& bound,
+                      const IndexVec& ivec) {
+  if (bound.is_constant()) return bound.constant;
+  charge_cost<C>(ctx, &vtime::CostModel::bound_eval);
+  const i64 b = bound.eval(ivec);
+  SS_CHECK_MSG(b >= 0, "loop bound expression evaluated to a negative value");
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// EXIT — Algorithm 5, generalized to start from an arbitrary level.
+//
+// exit_from(st, i, from_level, ivec) treats "the construct directly inside
+// the level-`from_level` loop on i's path" as completed and walks upward:
+//   * not the last construct at this level  -> return the level (successor
+//     is DESCRPT_i(level).next, activated by the caller via ENTER);
+//   * last inside a parallel loop           -> count the barrier; if it has
+//     not tripped, return 0; else continue one level up;
+//   * last inside a serial loop             -> if iterations remain,
+//     increment the serial index in ivec and return the level (next is the
+//     body entry, cyclically); else continue one level up;
+//   * level 0                               -> return 0 (whole nest done).
+// The paper's EXIT(i, ivec) is exit_from(i, DEPTH(i), ivec); the arbitrary
+// start level also serves skipped IF constructs and zero-trip loops.
+// ---------------------------------------------------------------------------
+template <exec::ExecutionContext C>
+Level exit_from(C& ctx, SchedState<C>& st, LoopId i, Level from_level,
+                IndexVec& ivec) {
+  const program::InnermostDesc& d = st.prog->loops[i];
+  SS_DCHECK(from_level <= d.depth);
+  ctx.stats().exits++;
+  for (Level lvl = from_level; lvl >= 1; --lvl) {
+    const program::LevelDesc& row = d.at_level(lvl);
+    charge_cost<C>(ctx, &vtime::CostModel::descrpt_step);
+    if (!row.last) return lvl;
+    const i64 bound = eval_bound(ctx, row.bound, ivec);
+    if (row.parallel) {
+      const bool tripped = st.bars.increment_and_check(
+          ctx, row.loop_uid, /*prefix_len=*/lvl - 1, ivec, bound);
+      if (!tripped) return 0;
+      // Barrier tripped: the whole level-lvl loop instance completed;
+      // continue the walk one level up.
+    } else {
+      if (ivec[lvl - 1] < bound) {
+        ivec[lvl - 1] += 1;  // next iteration of the serial loop
+        return lvl;          // successor: row.next (the body entry, cyclic)
+      }
+      // Serial loop exhausted; continue the walk one level up.
+    }
+  }
+  return 0;  // walked past the wrapper: the whole nest is complete
+}
+
+// ---------------------------------------------------------------------------
+// ENTER — Algorithm 6.
+//
+// enter(st, cur, level, ivec) activates instances of innermost loop `cur`,
+// whose enclosing index vector is fixed through `level` levels:
+//   1. evaluate cur's guard chain at `level` (IF-THEN-ELSE constructs):
+//      FALSE with a FALSE branch   -> switch cur to the branch entry and
+//                                     resume its chain past the shared
+//                                     prefix;
+//      FALSE with no FALSE branch  -> the construct completes vacuously:
+//                                     run the EXIT walk from `level` and
+//                                     re-enter at the successor, or stop;
+//   2. level == DEPTH(cur)         -> evaluate BOUND(cur); create+publish
+//                                     an ICB (or treat a zero-trip instance
+//                                     as vacuously complete);
+//   3. otherwise descend:          -> parallel child loop: recursively
+//                                     activate all M index values (M
+//                                     instances, Fig. 8(b)); zero-trip
+//                                     loops complete vacuously; serial
+//                                     child loop: activate index 1 only.
+// ---------------------------------------------------------------------------
+template <exec::ExecutionContext C>
+void enter(C& ctx, SchedState<C>& st, LoopId cur, Level level,
+           IndexVec& ivec) {
+  const program::CompiledProgram& prog = *st.prog;
+
+  for (;;) {
+    const program::InnermostDesc* d = &prog.loops[cur];
+    SS_DCHECK(level <= d->depth);
+
+    // --- 1. guard-chain evaluation at `level` ---
+    if (level >= 1) {
+      const program::LevelDesc* row = &d->at_level(level);
+      u32 gi = 0;
+      bool moved = false;  // jumped to a successor; restart the outer loop
+      while (gi < row->guards.size()) {
+        const program::Guard& g = row->guards[gi];
+        charge_cost<C>(ctx, &vtime::CostModel::cond_eval);
+        if (g.cond(ivec)) {
+          ++gi;
+          continue;
+        }
+        if (g.altern != kNoLoop) {
+          cur = g.altern;
+          d = &prog.loops[cur];
+          row = &d->at_level(level);
+          gi = g.altern_start;
+          continue;
+        }
+        // Condition FALSE, FALSE branch empty: THIS guard's IF construct
+        // completes without executing.  If further constructs follow it in
+        // its enclosing chain (possibly inside an outer THEN branch),
+        // activation proceeds there.
+        if (!g.skip_last) {
+          cur = g.skip_next;
+          SS_DCHECK(cur != kNoLoop);
+          moved = true;
+          break;
+        }
+        // The skipped IF was the last construct of the level-`level` loop
+        // body: one iteration of that loop completed vacuously.  This is
+        // the first step of the EXIT walk, performed here explicitly
+        // because cur's own DESCRPT row at `level` describes cur's (possibly
+        // inner, non-last) element, not the skipped IF's position.
+        {
+          const program::LevelDesc& lrow = d->at_level(level);
+          const i64 lbound = eval_bound(ctx, lrow.bound, ivec);
+          if (lrow.parallel) {
+            if (!st.bars.increment_and_check(ctx, lrow.loop_uid, level - 1,
+                                             ivec, lbound)) {
+              return;  // other iterations of the loop still outstanding
+            }
+          } else if (ivec[level - 1] < lbound) {
+            ivec[level - 1] += 1;
+            cur = g.skip_next;  // entry of the next serial iteration
+            SS_DCHECK(cur != kNoLoop);
+            moved = true;
+            break;
+          }
+          // The level-`level` loop itself finished; resume the normal walk
+          // one level up (rows above `level` are shared by the whole
+          // construct chain, so exit_from applies unchanged).
+          const Level lev = exit_from(ctx, st, cur, level - 1, ivec);
+          if (lev == 0) return;
+          cur = d->at_level(lev).next;
+          SS_DCHECK(cur != kNoLoop);
+          level = lev;
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+    }
+
+    // --- 2. reached the innermost loop: create and publish the ICB ---
+    if (level == d->depth) {
+      const i64 b = eval_bound(ctx, d->bound, ivec);
+      if (b == 0) {
+        // Zero-trip instance: vacuously complete.
+        const Level lev = exit_from(ctx, st, cur, level, ivec);
+        if (lev == 0) return;
+        cur = d->at_level(lev).next;
+        SS_DCHECK(cur != kNoLoop);
+        level = lev;
+        continue;
+      }
+      charge_cost<C>(ctx, &vtime::CostModel::icb_alloc);
+      if constexpr (C::kIsSimulated) {
+        ctx.charge(ctx.costs().ivec_copy_per_level *
+                   static_cast<Cycles>(d->depth));
+      }
+      Icb<C>* icb = st.icbs.acquire(ctx);
+      icb->init(cur, b, ivec, d->doacross.has_value());
+      icb->pool_list = st.list_of(cur, ctx.proc());
+      ctx.sync_op(st.outstanding, Test::kNone, 0, Op::kIncrement);
+      st.pool.append(ctx, icb->pool_list, icb);
+      ctx.stats().enters++;
+      return;
+    }
+
+    // --- 3. descend one level ---
+    const Level child = level + 1;
+    const program::LevelDesc& crow = d->at_level(child);
+    const i64 m = eval_bound(ctx, crow.bound, ivec);
+    if (m == 0) {
+      // Zero-trip child loop: the construct completes vacuously at `level`.
+      const Level lev = exit_from(ctx, st, cur, level, ivec);
+      if (lev == 0) return;
+      cur = d->at_level(lev).next;
+      SS_DCHECK(cur != kNoLoop);
+      level = lev;
+      continue;
+    }
+    if (crow.parallel) {
+      // Fig. 8(b): M sibling instances, one per index value.
+      for (i64 k = 1; k <= m; ++k) {
+        ivec[child - 1] = k;
+        enter(ctx, st, cur, child, ivec);
+      }
+      return;
+    }
+    // Serial child loop: only its first iteration is activated now; EXIT
+    // advances it when each iteration's body completes.
+    ivec[child - 1] = 1;
+    level = child;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SEARCH — Algorithm 4.
+//
+// Find an ICB that needs processors, attach to it (pcount increment under
+// the list lock), and fill the worker's cursor.  Returns false when the
+// program has terminated.  Locking discipline per the paper: try-lock the
+// list chosen by leading-one-detection (on failure, re-fetch SW rather than
+// wait); re-test SW(i) under the lock; clear SW(i) while walking so other
+// searchers divert to other lists; restore it before unlocking.
+// ---------------------------------------------------------------------------
+template <exec::ExecutionContext C>
+bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
+  exec::PhaseScope<C> phase(ctx, exec::Phase::kSearch);
+  sync::Backoff backoff(1, st.opts.idle_backoff_max);
+  for (;;) {
+    if (ctx.sync_op(st.done, Test::kNE, 0, Op::kFetch).success) return false;
+    const u32 i = st.pool.sw().leading_one(ctx);
+    if (i == CtxControlWord<C>::kEmpty) {
+      exec::PhaseScope<C> idle(ctx, exec::Phase::kPoolIdle);
+      ctx.pause(backoff.next());
+      continue;
+    }
+    if (!ctx_try_lock(ctx, st.pool.list_lock(i))) continue;
+    // Re-test under the lock: the list may have emptied since our fetch
+    // (the SW bit we saw was stale).
+    if (st.pool.list_head(i) == nullptr) {
+      ctx_unlock(ctx, st.pool.list_lock(i));
+      continue;
+    }
+    st.pool.sw().reset(ctx, i);  // divert other searchers while we walk
+    Icb<C>* ip = st.pool.list_head(i);
+    bool attached = false;
+    while (ip != nullptr) {
+      charge_cost<C>(ctx, &vtime::CostModel::list_step);
+      ctx.stats().search_steps++;
+      // Attach only if the instance still *needs* processors: unscheduled
+      // iterations remain AND fewer processors than iterations are on it.
+      // The index pre-test matters for liveness, not just efficiency: a
+      // fully-scheduled ICB lingers in its list until the processor that
+      // took the last iterations acquires the list lock for DELETE; if
+      // searchers kept attach/detach-churning on it, their lock traffic
+      // could starve that DELETE indefinitely.
+      const bool has_unscheduled =
+          ctx.sync_op(ip->index, Test::kLE, ip->bound, Op::kFetch).success;
+      if (has_unscheduled &&
+          ctx.sync_op(ip->pcount, Test::kLT, ip->bound, Op::kIncrement)
+              .success) {
+        attached = true;
+        break;
+      }
+      ip = ip->right;
+    }
+    if (attached) {
+      cursor.i = ip->loop;
+      cursor.ip = ip;
+      cursor.b = ip->bound;
+      cursor.ivec = ip->ivec;
+      if constexpr (C::kIsSimulated) {
+        ctx.charge(ctx.costs().ivec_copy_per_level *
+                   static_cast<Cycles>(st.prog->loops[ip->loop].depth));
+      }
+    }
+    st.pool.sw().set(ctx, i);
+    ctx_unlock(ctx, st.pool.list_lock(i));
+    if (attached) {
+      ctx.stats().searches++;
+      return true;
+    }
+    // Every listed instance already has as many processors as iterations:
+    // we are effectively surplus.  Back off like an idle processor — an
+    // immediate re-walk would hammer the list lock and starve the owners'
+    // APPEND/DELETE operations.
+    {
+      exec::PhaseScope<C> idle(ctx, exec::Phase::kPoolIdle);
+      ctx.pause(backoff.next());
+    }
+  }
+}
+
+}  // namespace selfsched::runtime

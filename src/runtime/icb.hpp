@@ -1,0 +1,75 @@
+// The Instance Control Block (§III-A): one entry of a parallel linked list
+// in the task pool, representing one active instance of an innermost
+// parallel loop.
+//
+// Field roles (paper names in parentheses):
+//   right/left  (right, left)   list linkage, guarded by the list lock
+//   loop                        which innermost parallel loop (the paper
+//                               implies it by which list the ICB is in; we
+//                               store it so a worker can keep scheduling
+//                               from a *deleted* ICB it still points to)
+//   ivec        (ivec)          index vector of the enclosing loops
+//   bound                       loop bound of THIS instance (BOUND(i)
+//                               evaluated against ivec at activation time)
+//   index       (index)         next unscheduled iteration, starts at 1
+//   icount      (icount)        completed-iteration counter, starts at 0
+//   pcount      (pcount)        processors attached to this ICB
+//   aux                         dispatch sequence counter (trapezoid
+//                               self-scheduling) — an extension slot
+//   da_flags                    Doacross post flags, one per iteration
+#pragma once
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/small_vec.hpp"
+#include "common/types.hpp"
+#include "exec/context.hpp"
+
+namespace selfsched::runtime {
+
+template <exec::ExecutionContext C>
+struct Icb {
+  Icb* right = nullptr;
+  Icb* left = nullptr;
+
+  LoopId loop = kNoLoop;
+  /// Task-pool list this ICB was appended to (shard-aware; the deleting
+  /// processor may differ from the appending one).
+  u32 pool_list = 0;
+  i64 bound = 0;
+  IndexVec ivec;
+
+  typename C::Sync index;
+  typename C::Sync icount;
+  typename C::Sync pcount;
+  typename C::Sync aux;
+
+  std::unique_ptr<typename C::Sync[]> da_flags;
+  i64 da_flags_cap = 0;
+
+  /// Prepare for (re)use as an instance of loop `l`.  Plain writes: the ICB
+  /// is not visible to other processors until APPEND publishes it.
+  void init(LoopId l, i64 b, const IndexVec& iv, bool needs_da_flags) {
+    SS_DCHECK(b >= 1);
+    right = left = nullptr;
+    loop = l;
+    bound = b;
+    ivec = iv;
+    index.reset(1);
+    icount.reset(0);
+    pcount.reset(0);
+    aux.reset(0);
+    if (needs_da_flags) {
+      if (da_flags_cap < b + 1) {
+        da_flags = std::make_unique<typename C::Sync[]>(
+            static_cast<std::size_t>(b + 1));
+        da_flags_cap = b + 1;
+      } else {
+        for (i64 j = 0; j <= b; ++j) da_flags[j].reset(0);
+      }
+    }
+  }
+};
+
+}  // namespace selfsched::runtime

@@ -1,0 +1,63 @@
+// ICB allocator: a free list over an address-stable arena, guarded by the
+// paper's lock protocol.  ICBs are created by ENTER and released by the
+// last processor to leave a completed instance (Algorithm 3's "release the
+// ICB"); recycling keeps activation cost flat and — in the Doacross case —
+// reuses the per-iteration flag arrays.
+#pragma once
+
+#include <deque>
+
+#include "common/check.hpp"
+#include "exec/context.hpp"
+#include "runtime/ctx_sync.hpp"
+#include "runtime/icb.hpp"
+
+namespace selfsched::runtime {
+
+template <exec::ExecutionContext C>
+class IcbPool {
+ public:
+  IcbPool() { lock_.reset(1); }
+
+  IcbPool(const IcbPool&) = delete;
+  IcbPool& operator=(const IcbPool&) = delete;
+
+  /// Pop a free ICB (growing the arena if empty).  The returned block is
+  /// exclusively owned by the caller until APPEND publishes it.
+  Icb<C>* acquire(C& ctx) {
+    ctx_lock(ctx, lock_);
+    Icb<C>* p = free_head_;
+    if (p != nullptr) {
+      free_head_ = p->right;
+    } else {
+      arena_.emplace_back();
+      p = &arena_.back();
+      ++allocated_;
+    }
+    ctx_unlock(ctx, lock_);
+    return p;
+  }
+
+  /// Return a released ICB to the free list.  Caller must guarantee no
+  /// other processor still holds a pointer (pcount protocol).
+  void release(C& ctx, Icb<C>* p) {
+    SS_DCHECK(p != nullptr);
+    ctx_lock(ctx, lock_);
+    p->right = free_head_;
+    p->left = nullptr;
+    free_head_ = p;
+    ctx_unlock(ctx, lock_);
+  }
+
+  /// Arena size (high-water mark of simultaneously live ICBs; tests verify
+  /// it stays bounded by the program's activation width).
+  u64 allocated() const { return allocated_; }
+
+ private:
+  typename C::Sync lock_;
+  Icb<C>* free_head_ = nullptr;
+  std::deque<Icb<C>> arena_;  // deque: growth never moves existing ICBs
+  u64 allocated_ = 0;
+};
+
+}  // namespace selfsched::runtime

@@ -1,0 +1,69 @@
+// Run-wide configuration of the two-level scheduler.
+#pragma once
+
+#include "common/types.hpp"
+#include "runtime/strategy.hpp"
+#include "vtime/costs.hpp"
+
+namespace selfsched::runtime {
+
+struct SchedOptions {
+  /// Low-level iteration dispatch policy for Doall loops.
+  Strategy strategy = Strategy::self();
+
+  /// Dispatch policy for Doacross loops.  Defaults to single-iteration
+  /// (SDSS); benches override it to demonstrate why chunking Doacross
+  /// loops destroys cross-iteration overlap (§I).
+  Strategy doacross_strategy = Strategy::self();
+
+  /// Body cost, in cycles, of a loop iteration whose leaf provides no cost
+  /// function (virtual-time engine) / no body (threaded engine synthetic
+  /// spin).
+  Cycles default_body_cost = 100;
+
+  /// Virtual-time engine: the simulated machine's cost model.
+  vtime::CostModel costs = vtime::CostModel::cedar();
+
+  /// Virtual-time engine: record the serialized op trace (determinism
+  /// tests; memory-heavy).
+  bool trace = false;
+
+  /// Virtual-time engine: record per-worker (phase, start, end) intervals
+  /// into RunResult::timeline for Gantt rendering (render_gantt()).
+  bool phase_timeline = false;
+
+  /// Virtual-time engine: also invoke leaf body callbacks (host-side
+  /// effects for validation) in addition to charging cycles.
+  bool run_bodies_in_sim = true;
+
+  /// Threaded engine: measure per-phase wall-clock (≈20 ns per phase
+  /// switch); disable for throughput benches.
+  bool measure_phases = true;
+
+  /// BAR_COUNT hash-table buckets.
+  u32 bar_buckets = 256;
+
+  /// Baseline ablation: collapse the task pool to a single list under a
+  /// single lock (the serial bottleneck the paper's m parallel linked
+  /// lists avoid, §III-A).
+  bool central_queue = false;
+
+  /// Shards per innermost-loop list (>= 1).  The paper notes that other
+  /// parallel data structures [24] could implement the task pool; sharding
+  /// each loop's list S ways — activators append to the shard hashed from
+  /// their processor id, SW grows to m*S bits — spreads lock and
+  /// leading-one traffic when many processors activate instances of the
+  /// same loop.  1 reproduces the paper's layout exactly.
+  u32 pool_shards = 1;
+
+  /// Backoff cap, in pause cycles, for pool-idle spinning.
+  Cycles idle_backoff_max = 1024;
+
+  /// Backoff cap for Doacross post/wait spinning.  Kept tight: the wait
+  /// duration is the pipeline advance f*tau, and every cycle of overshoot
+  /// stretches the whole chain — SDSS's point is to keep successive
+  /// iterations starting with the shortest possible delay.
+  Cycles doacross_backoff_max = 16;
+};
+
+}  // namespace selfsched::runtime

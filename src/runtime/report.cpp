@@ -1,0 +1,35 @@
+#include "runtime/report.hpp"
+
+namespace selfsched::runtime {
+
+void write_timeline_csv(const RunResult& r, std::ostream& os) {
+  os << "proc,phase,start,end\n";
+  for (std::size_t p = 0; p < r.timeline.size(); ++p) {
+    for (const exec::PhaseInterval& iv : r.timeline[p]) {
+      os << p << ',' << exec::phase_name(iv.phase) << ',' << iv.start << ','
+         << iv.end << '\n';
+    }
+  }
+}
+
+void write_summary_csv_header(std::ostream& os) {
+  os << "label,procs,makespan,iterations,utilization,speedup,tau,"
+        "o1_per_iter,o2_per_iter,o3_per_iter,sync_ops,failed_sync_ops,"
+        "dispatches,searches,search_steps,enters,exits,icbs_released,"
+        "engine_ops\n";
+}
+
+void write_summary_csv_row(const std::string& label, const RunResult& r,
+                           std::ostream& os) {
+  os << label << ',' << r.procs << ',' << r.makespan << ','
+     << r.total.iterations << ',' << r.utilization() << ',' << r.speedup()
+     << ',' << r.tau() << ',' << r.o1_per_iteration() << ','
+     << r.o2_per_iteration() << ',' << r.o3_per_iteration() << ','
+     << r.total.sync_ops << ',' << r.total.failed_sync_ops << ','
+     << r.total.dispatches << ',' << r.total.searches << ','
+     << r.total.search_steps << ',' << r.total.enters << ','
+     << r.total.exits << ',' << r.total.icbs_released << ',' << r.engine_ops
+     << '\n';
+}
+
+}  // namespace selfsched::runtime

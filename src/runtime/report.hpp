@@ -1,0 +1,22 @@
+// Machine-readable exports of run results: CSV for external plotting of
+// the paper's curves (utilization sweeps, phase timelines).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "runtime/stats.hpp"
+
+namespace selfsched::runtime {
+
+/// One row per phase interval: proc,phase,start,end (vtime runs recorded
+/// with SchedOptions::phase_timeline).
+void write_timeline_csv(const RunResult& r, std::ostream& os);
+
+/// Header + row form of the summary metrics; `label` is a free-form first
+/// column (e.g. "gss/P=8") so sweeps can append rows into one file.
+void write_summary_csv_header(std::ostream& os);
+void write_summary_csv_row(const std::string& label, const RunResult& r,
+                           std::ostream& os);
+
+}  // namespace selfsched::runtime

@@ -1,0 +1,102 @@
+#include "runtime/scheduler.hpp"
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "exec/real_context.hpp"
+#include "runtime/high_level.hpp"
+#include "runtime/worker.hpp"
+#include "sync/barrier.hpp"
+#include "vtime/context.hpp"
+#include "vtime/engine.hpp"
+
+namespace selfsched::runtime {
+
+RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
+                    const SchedOptions& opts) {
+  SchedState<vtime::VContext> st(prog.tables(), opts);
+  vtime::Engine engine(procs, opts.trace);
+  std::vector<exec::WorkerStats> stats(procs);
+  std::vector<std::vector<exec::PhaseInterval>> timeline(
+      opts.phase_timeline ? procs : 0);
+
+  const Cycles makespan = engine.run([&](ProcId id) {
+    vtime::VContext ctx(engine, id, opts.costs, opts.phase_timeline);
+    if (id == 0) seed_program(ctx, st);
+    worker_loop(ctx, st);
+    ctx.finish_timeline();
+    if (opts.phase_timeline) timeline[id] = ctx.take_timeline();
+    stats[id] = ctx.stats();
+  });
+
+  SS_CHECK_MSG(st.pool.empty(), "task pool not drained at termination");
+  RunResult r;
+  r.procs = procs;
+  r.makespan = makespan;
+  r.workers = std::move(stats);
+  r.engine_ops = engine.total_ops();
+  r.timeline = std::move(timeline);
+  finalize(r);
+  return r;
+}
+
+namespace {
+
+/// Shared core of the threaded runners: `dispatch` must invoke its
+/// argument once per ProcId 0..procs-1 concurrently and return when all
+/// have finished.
+template <typename Dispatch>
+RunResult run_threads_impl(const program::NestedLoopProgram& prog, u32 procs,
+                           const SchedOptions& opts, Dispatch&& dispatch) {
+  SS_CHECK(procs >= 1);
+  SchedState<exec::RContext> st(prog.tables(), opts);
+  std::vector<exec::WorkerStats> stats(procs);
+  sync::SpinBarrier start_line(procs);
+  Stopwatch watch;
+
+  dispatch([&](ProcId id) {
+    exec::RContext ctx(id, procs, opts.measure_phases);
+    start_line.arrive_and_wait();
+    if (id == 0) {
+      watch.reset();  // time from the moment the full team is assembled
+      seed_program(ctx, st);
+    }
+    worker_loop(ctx, st);
+    ctx.finish();
+    stats[id] = ctx.stats();
+  });
+
+  SS_CHECK_MSG(st.pool.empty(), "task pool not drained at termination");
+  RunResult r;
+  r.procs = procs;
+  r.makespan = watch.elapsed_ns();
+  r.workers = std::move(stats);
+  finalize(r);
+  return r;
+}
+
+}  // namespace
+
+RunResult run_threads(const program::NestedLoopProgram& prog, u32 procs,
+                      const SchedOptions& opts) {
+  return run_threads_impl(
+      prog, procs, opts, [procs](const std::function<void(ProcId)>& body) {
+        std::vector<std::thread> team;
+        team.reserve(procs);
+        for (u32 id = 1; id < procs; ++id) team.emplace_back(body, id);
+        body(0);
+        for (std::thread& t : team) t.join();
+      });
+}
+
+RunResult run_threads_on(exec::ThreadTeam& team,
+                         const program::NestedLoopProgram& prog,
+                         const SchedOptions& opts) {
+  return run_threads_impl(
+      prog, team.procs(), opts,
+      [&team](const std::function<void(ProcId)>& body) { team.run(body); });
+}
+
+}  // namespace selfsched::runtime

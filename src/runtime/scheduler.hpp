@@ -1,0 +1,34 @@
+// Front-end entry points: run a compiled general parallel nested loop on
+// either execution engine.
+//
+//   run_vtime(prog, P, opts)   — deterministic virtual-time simulation of a
+//                                P-processor shared-memory machine (any P,
+//                                independent of host cores).  Makespan and
+//                                all phase times are virtual cycles.
+//   run_threads(prog, P, opts) — real std::thread workers over std::atomic;
+//                                makespan and phase times are wall-clock
+//                                nanoseconds.  P should not exceed the host
+//                                core count for meaningful timings, but any
+//                                P is functionally correct.
+#pragma once
+
+#include "exec/thread_team.hpp"
+#include "program/tables.hpp"
+#include "runtime/options.hpp"
+#include "runtime/stats.hpp"
+
+namespace selfsched::runtime {
+
+RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
+                    const SchedOptions& opts = {});
+
+RunResult run_threads(const program::NestedLoopProgram& prog, u32 procs,
+                      const SchedOptions& opts = {});
+
+/// Like run_threads, but reuses a persistent worker team (no per-run thread
+/// spawn) — the right entry point when scheduling many nests back to back.
+RunResult run_threads_on(exec::ThreadTeam& team,
+                         const program::NestedLoopProgram& prog,
+                         const SchedOptions& opts = {});
+
+}  // namespace selfsched::runtime

@@ -1,0 +1,126 @@
+#include "runtime/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace selfsched::runtime {
+
+using exec::Phase;
+
+void finalize(RunResult& r) {
+  r.total = exec::WorkerStats{};
+  for (const exec::WorkerStats& w : r.workers) r.total.merge(w);
+}
+
+double RunResult::utilization() const {
+  if (makespan <= 0 || procs == 0) return 0.0;
+  return static_cast<double>(total[Phase::kBody]) /
+         (static_cast<double>(procs) * static_cast<double>(makespan));
+}
+
+double RunResult::speedup() const {
+  if (makespan <= 0) return 0.0;
+  return static_cast<double>(total[Phase::kBody]) /
+         static_cast<double>(makespan);
+}
+
+double RunResult::o1_per_iteration() const {
+  if (total.iterations == 0) return 0.0;
+  return static_cast<double>(total[Phase::kIterSync]) /
+         static_cast<double>(total.iterations);
+}
+
+double RunResult::o2_per_iteration() const {
+  if (total.iterations == 0) return 0.0;
+  return static_cast<double>(total[Phase::kSearch] +
+                             total[Phase::kPoolIdle]) /
+         static_cast<double>(total.iterations);
+}
+
+double RunResult::o3_per_iteration() const {
+  if (total.iterations == 0) return 0.0;
+  return static_cast<double>(total[Phase::kExitEnter] +
+                             total[Phase::kTeardown]) /
+         static_cast<double>(total.iterations);
+}
+
+double RunResult::tau() const {
+  if (total.iterations == 0) return 0.0;
+  return static_cast<double>(total[Phase::kBody]) /
+         static_cast<double>(total.iterations);
+}
+
+std::string render_gantt(const RunResult& r, u32 width) {
+  if (r.timeline.empty() || r.makespan <= 0 || width == 0) {
+    return "(no timeline recorded; set SchedOptions::phase_timeline)\n";
+  }
+  std::ostringstream os;
+  os << "gantt over " << r.makespan << " cycles ('#'=body '+'=iter-sync "
+     << "'s'=search 'E'=exit/enter '.'=idle 'w'=doacross-wait "
+     << "'t'=teardown)\n";
+  const double per_col =
+      static_cast<double>(r.makespan) / static_cast<double>(width);
+  for (std::size_t p = 0; p < r.timeline.size(); ++p) {
+    // Per column, pick the phase covering the most time in that slice.
+    std::string row(width, ' ');
+    std::vector<std::array<Cycles, exec::kNumPhases>> cover(
+        width, std::array<Cycles, exec::kNumPhases>{});
+    for (const exec::PhaseInterval& iv : r.timeline[p]) {
+      const auto c0 = static_cast<std::size_t>(
+          std::min<double>(static_cast<double>(iv.start) / per_col,
+                           width - 1));
+      const auto c1 = static_cast<std::size_t>(std::min<double>(
+          static_cast<double>(iv.end - 1) / per_col, width - 1));
+      for (std::size_t c = c0; c <= c1; ++c) {
+        const Cycles col_lo = static_cast<Cycles>(per_col * static_cast<double>(c));
+        const Cycles col_hi =
+            static_cast<Cycles>(per_col * static_cast<double>(c + 1));
+        const Cycles overlap = std::min(iv.end, col_hi) -
+                               std::max(iv.start, col_lo);
+        if (overlap > 0) {
+          cover[c][static_cast<std::size_t>(iv.phase)] += overlap;
+        }
+      }
+    }
+    for (std::size_t c = 0; c < width; ++c) {
+      Cycles best = 0;
+      for (std::size_t ph = 0; ph < exec::kNumPhases; ++ph) {
+        if (cover[c][ph] > best) {
+          best = cover[c][ph];
+          row[c] = exec::phase_glyph(static_cast<Phase>(ph));
+        }
+      }
+    }
+    char label[24];
+    std::snprintf(label, sizeof(label), "p%02u |",
+                  static_cast<unsigned>(p % 100));
+    os << label << row << "|\n";
+  }
+  return os.str();
+}
+
+std::string RunResult::summary() const {
+  std::ostringstream os;
+  os << "procs=" << procs << " makespan=" << makespan
+     << " iterations=" << total.iterations << "\n";
+  os << "utilization=" << utilization() << " speedup=" << speedup() << "\n";
+  os << "tau=" << tau() << " O1/iter=" << o1_per_iteration()
+     << " O2/iter=" << o2_per_iteration()
+     << " O3/iter=" << o3_per_iteration() << "\n";
+  os << "phases:";
+  for (std::size_t p = 0; p < exec::kNumPhases; ++p) {
+    os << " " << exec::phase_name(static_cast<Phase>(p)) << "="
+       << total.phase_cycles[p];
+  }
+  os << "\nops: sync=" << total.sync_ops << " (failed=" << total.failed_sync_ops
+     << ") dispatches=" << total.dispatches << " searches=" << total.searches
+     << " search_steps=" << total.search_steps << " enters=" << total.enters
+     << " exits=" << total.exits << " released=" << total.icbs_released
+     << "\n";
+  return os.str();
+}
+
+}  // namespace selfsched::runtime

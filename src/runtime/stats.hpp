@@ -1,0 +1,52 @@
+// Aggregated results of one scheduled program execution, with the derived
+// quantities of the paper's §IV analysis: per-phase time split, utilization
+// η, and the per-iteration overhead components O1, O2/n, O3/N.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/context.hpp"
+
+namespace selfsched::runtime {
+
+struct RunResult {
+  u32 procs = 0;
+  /// Virtual cycles (vtime engine) or wall nanoseconds (threaded engine).
+  Cycles makespan = 0;
+  std::vector<exec::WorkerStats> workers;
+  exec::WorkerStats total;
+  /// Engine-serialized synchronization operations (vtime only).
+  u64 engine_ops = 0;
+  /// Per-worker phase intervals (vtime only, opts.phase_timeline).
+  std::vector<std::vector<exec::PhaseInterval>> timeline;
+
+  /// Processor utilization η = useful body time / (P * makespan).
+  double utilization() const;
+
+  /// Speedup relative to an ideal serial execution of the same body work:
+  /// Σ body / makespan.
+  double speedup() const;
+
+  /// Average per-iteration overheads, in the units of `makespan`:
+  /// O1 = iteration sync, O2/n amortized search, O3/N amortized exit/enter.
+  double o1_per_iteration() const;
+  double o2_per_iteration() const;
+  double o3_per_iteration() const;
+  /// Average body time per iteration (the paper's τ).
+  double tau() const;
+
+  /// Multi-line human-readable report.
+  std::string summary() const;
+};
+
+/// Fold per-worker stats into `total` (called by the runners).
+void finalize(RunResult& r);
+
+/// ASCII Gantt chart of a run recorded with opts.phase_timeline: one row
+/// per processor, `width` columns across the makespan, each cell showing
+/// the dominant phase glyph ('#' body, '+' iter sync, 's' search,
+/// 'E' exit/enter, '.' pool idle, 'w' doacross wait, 't' teardown).
+std::string render_gantt(const RunResult& r, u32 width = 100);
+
+}  // namespace selfsched::runtime

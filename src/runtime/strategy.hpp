@@ -1,0 +1,151 @@
+// Low-level self-scheduling strategies (§II-C, §IV): how many iterations a
+// processor grabs from an instance's shared `index` variable per dispatch.
+//
+//   kSelf       one iteration per fetch&increment — the original HEP-style
+//               self-scheduling [7]; also the SDSS discipline for Doacross
+//               loops [16] (chunking a Doacross serializes k-1 of every k
+//               iterations, §I).
+//   kChunk      fixed chunk of k iterations per fetch&add(k) — Eq. (7)'s
+//               parameter k.
+//   kGSS        guided self-scheduling [14]: grab ceil(remaining / P).
+//   kFactoring  grab ceil(remaining / (2P)) — a batch-free rendition of
+//               Hummel/Schonberg/Flynn factoring (extension).
+//   kTrapezoid  trapezoid self-scheduling (Tzen/Ni): linearly decreasing
+//               chunks from `first` to `last` (extension).
+//
+// GSS-style strategies need remaining = bound - index + 1 read-then-update
+// atomically; the paper's equality test turns test-and-op into compare-and-
+// swap: {index == seen ; Fetch&Add(chunk)} retried on interference.
+#pragma once
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "exec/context.hpp"
+#include "runtime/ctx_sync.hpp"
+#include "runtime/icb.hpp"
+
+namespace selfsched::runtime {
+
+struct Strategy {
+  enum class Kind : u32 { kSelf, kChunk, kGSS, kFactoring, kTrapezoid };
+
+  Kind kind = Kind::kSelf;
+  i64 chunk = 1;      // kChunk: fixed size; kGSS/kFactoring: minimum chunk
+  i64 tss_first = 0;  // kTrapezoid: first chunk (0 = auto bound/(2P))
+  i64 tss_last = 1;   // kTrapezoid: final chunk
+
+  static Strategy self() { return {Kind::kSelf, 1, 0, 1}; }
+  static Strategy chunked(i64 k) {
+    SS_CHECK(k >= 1);
+    return {Kind::kChunk, k, 0, 1};
+  }
+  static Strategy gss(i64 min_chunk = 1) {
+    SS_CHECK(min_chunk >= 1);
+    return {Kind::kGSS, min_chunk, 0, 1};
+  }
+  static Strategy factoring(i64 min_chunk = 1) {
+    SS_CHECK(min_chunk >= 1);
+    return {Kind::kFactoring, min_chunk, 0, 1};
+  }
+  static Strategy trapezoid(i64 first = 0, i64 last = 1) {
+    SS_CHECK(last >= 1 && (first == 0 || first >= last));
+    return {Kind::kTrapezoid, 1, first, last};
+  }
+
+  const char* name() const {
+    switch (kind) {
+      case Kind::kSelf: return "self(1)";
+      case Kind::kChunk: return "chunk";
+      case Kind::kGSS: return "gss";
+      case Kind::kFactoring: return "factoring";
+      case Kind::kTrapezoid: return "trapezoid";
+    }
+    return "?";
+  }
+};
+
+/// Result of one low-level dispatch attempt on an ICB.
+struct Dispatch {
+  i64 first = 0;  // first grabbed iteration (1-based); valid if count > 0
+  i64 count = 0;  // 0 => instance fully scheduled, detach and SEARCH
+  bool last_scheduled = false;  // this grab took the final iteration =>
+                                // caller must DELETE the ICB from its list
+};
+
+/// Grab the next block of iterations from `icb` according to `s`.
+/// Implements the paper's "start:" step generalized to multi-iteration
+/// chunks: {index <= b ; Fetch&Add(k)}.
+template <exec::ExecutionContext C>
+Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
+  const i64 b = icb.bound;
+  const u32 procs = ctx.num_procs();
+
+  const auto finish = [b](i64 first, i64 want) {
+    Dispatch d;
+    d.first = first;
+    d.count = std::min(want, b - first + 1);
+    d.last_scheduled = (first + d.count - 1 == b);
+    return d;
+  };
+
+  switch (s.kind) {
+    case Strategy::Kind::kSelf:
+    case Strategy::Kind::kChunk: {
+      const i64 k = (s.kind == Strategy::Kind::kSelf) ? 1 : s.chunk;
+      const auto r = ctx.sync_op(icb.index, sync::Test::kLE, b,
+                                 sync::Op::kFetchAdd, k);
+      if (!r.success) return {};
+      return finish(r.fetched, k);
+    }
+
+    case Strategy::Kind::kGSS:
+    case Strategy::Kind::kFactoring: {
+      for (;;) {
+        const auto seen =
+            ctx.sync_op(icb.index, sync::Test::kLE, b, sync::Op::kFetch);
+        if (!seen.success) return {};
+        const i64 remaining = b - seen.fetched + 1;
+        const i64 div = (s.kind == Strategy::Kind::kGSS)
+                            ? static_cast<i64>(procs)
+                            : 2 * static_cast<i64>(procs);
+        if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
+        const i64 want =
+            std::max(s.chunk, (remaining + div - 1) / div);
+        const auto cas = ctx.sync_op(icb.index, sync::Test::kEQ, seen.fetched,
+                                     sync::Op::kFetchAdd, want);
+        if (cas.success) return finish(cas.fetched, want);
+        // Another processor moved index between our Fetch and our CAS;
+        // re-read and retry with the new remaining count.
+      }
+    }
+
+    case Strategy::Kind::kTrapezoid: {
+      // Chunk sizes decrease linearly with the dispatch sequence number:
+      // c(n) = max(last, first - n*delta), delta = (first-last)/(N-1) where
+      // N = number of dispatches to consume the loop at the average chunk.
+      const i64 first_chunk =
+          s.tss_first > 0
+              ? s.tss_first
+              : std::max<i64>(1, b / (2 * static_cast<i64>(procs)));
+      const i64 avg = std::max<i64>(1, (first_chunk + s.tss_last) / 2);
+      const i64 n_dispatch = std::max<i64>(1, (b + avg - 1) / avg);
+      const i64 delta =
+          n_dispatch > 1 ? std::max<i64>(0, (first_chunk - s.tss_last) /
+                                                (n_dispatch - 1))
+                         : 0;
+      const auto seq =
+          ctx.sync_op(icb.aux, sync::Test::kNone, 0, sync::Op::kIncrement);
+      if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
+      const i64 want =
+          std::max(s.tss_last, first_chunk - seq.fetched * delta);
+      const auto r = ctx.sync_op(icb.index, sync::Test::kLE, b,
+                                 sync::Op::kFetchAdd, want);
+      if (!r.success) return {};
+      return finish(r.fetched, want);
+    }
+  }
+  return {};
+}
+
+}  // namespace selfsched::runtime

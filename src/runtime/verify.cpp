@@ -1,0 +1,124 @@
+#include "runtime/verify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "baselines/sequential.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace selfsched::runtime {
+
+namespace {
+
+using Key = std::tuple<std::string, std::vector<i64>, i64>;
+
+/// Thread-safe iteration recorder keyed by leaf name; index vectors are
+/// trimmed to each leaf's depth after the run so storage layout does not
+/// affect comparisons.
+class Recorder {
+ public:
+  program::BodyFactory factory() {
+    return [this](const std::string& name) -> program::BodyFn {
+      return [this, name](ProcId, const IndexVec& ivec, i64 j) {
+        std::vector<i64> iv(ivec.begin(), ivec.end());
+        std::lock_guard lk(mu_);
+        seen_.emplace_back(name, std::move(iv), j);
+      };
+    };
+  }
+
+  std::vector<Key> sorted(const program::NestedLoopProgram& prog) const {
+    std::map<std::string, Level> depth;
+    for (u32 i = 0; i < prog.num_loops(); ++i) {
+      depth[prog.loop(i).name] = prog.loop(i).depth;
+    }
+    std::lock_guard lk(mu_);
+    std::vector<Key> out;
+    out.reserve(seen_.size());
+    for (const auto& [name, iv, j] : seen_) {
+      const auto it = depth.find(name);
+      const std::size_t keep =
+          it == depth.end() ? iv.size()
+                            : std::min<std::size_t>(iv.size(), it->second);
+      out.emplace_back(name, std::vector<i64>(iv.begin(),
+                                              iv.begin() +
+                                                  static_cast<std::ptrdiff_t>(
+                                                      keep)),
+                       j);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return seen_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Key> seen_;
+};
+
+std::string describe_key(const Key& k) {
+  std::ostringstream os;
+  os << std::get<0>(k) << " ivec=[";
+  for (const i64 v : std::get<1>(k)) os << v << ",";
+  os << "] j=" << std::get<2>(k);
+  return os.str();
+}
+
+}  // namespace
+
+DiffResult differential_check(const ProgramBuilder& build, u32 procs,
+                              EngineKind engine, const SchedOptions& opts) {
+  DiffResult out;
+
+  Recorder serial_rec, par_rec;
+  program::NestedLoopProgram serial_prog = build(serial_rec.factory());
+  program::NestedLoopProgram par_prog = build(par_rec.factory());
+
+  const auto serial =
+      baselines::run_sequential(serial_prog, opts.default_body_cost);
+  out.serial_iterations = serial.iterations;
+
+  const RunResult r = engine == EngineKind::kVtime
+                          ? run_vtime(par_prog, procs, opts)
+                          : run_threads(par_prog, procs, opts);
+  out.parallel_iterations = r.total.iterations;
+  out.makespan = r.makespan;
+
+  std::ostringstream detail;
+  if (r.total.enters != r.total.icbs_released) {
+    detail << "ICB leak: " << r.total.enters << " activated vs "
+           << r.total.icbs_released << " released\n";
+  }
+
+  const auto a = serial_rec.sorted(serial_prog);
+  const auto b = par_rec.sorted(par_prog);
+  if (a != b) {
+    std::map<Key, int> diff;
+    for (const Key& k : a) diff[k] += 1;
+    for (const Key& k : b) diff[k] -= 1;
+    int shown = 0;
+    for (const auto& [k, c] : diff) {
+      if (c == 0) continue;
+      if (shown++ >= 8) {
+        detail << "  ...\n";
+        break;
+      }
+      detail << (c > 0 ? "  missing in parallel: " : "  extra in parallel: ")
+             << describe_key(k) << " x" << std::abs(c) << "\n";
+    }
+  }
+
+  out.detail = detail.str();
+  out.ok = out.detail.empty();
+  return out;
+}
+
+}  // namespace selfsched::runtime

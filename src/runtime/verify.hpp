@@ -1,0 +1,40 @@
+// Differential verification: run a program serially and under the
+// scheduler and compare the executed iteration multisets and bookkeeping
+// invariants.  This is the library form of the test-suite oracle, exposed
+// so tools (selfsched-fuzz) and downstream users can check their own
+// programs and configurations.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "program/tables.hpp"
+#include "runtime/options.hpp"
+
+namespace selfsched::runtime {
+
+/// Builds a fresh structurally-identical program each call; the body hook
+/// must be installed on every leaf (program generators take a
+/// program::BodyFactory for exactly this purpose).
+using ProgramBuilder =
+    std::function<program::NestedLoopProgram(const program::BodyFactory&)>;
+
+struct DiffResult {
+  bool ok = false;
+  std::string detail;       // empty when ok; first few mismatches otherwise
+  u64 serial_iterations = 0;
+  u64 parallel_iterations = 0;
+  Cycles makespan = 0;
+};
+
+enum class EngineKind : u32 { kVtime, kThreads };
+
+/// Run `build` serially and on the chosen engine with `procs` workers and
+/// compare.  Checks: identical iteration multisets (leaf name, enclosing
+/// indices, iteration index), every activated ICB released exactly once,
+/// and the task pool drained.
+DiffResult differential_check(const ProgramBuilder& build, u32 procs,
+                              EngineKind engine,
+                              const SchedOptions& opts = {});
+
+}  // namespace selfsched::runtime

@@ -1,0 +1,194 @@
+// The low-level self-scheduling main loop — Algorithm 3, generalized to
+// multi-iteration dispatches and Doacross synchronization.
+//
+// Per dispatch cycle a processor:
+//   start:  grabs iterations with {index <= b ; Fetch&Add(k)} (strategy.hpp);
+//           on failure detaches ({pcount; Decrement}) and SEARCHes;
+//           if it grabbed the final iteration it DELETEs the ICB from its
+//           list — the ICB stays alive for the processors still executing
+//           scheduled iterations (their local `ip` keeps it reachable);
+//   body:   executes the iterations (Doacross: wait on the post flag of
+//           iteration j-d, execute the pre-source segment, post flag j,
+//           execute the tail segment);
+//   update: adds the completed count to icount; the processor whose update
+//           reaches the bound activates the successors (EXIT + ENTER),
+//           waits for pcount to drain to 1 ({pcount == 1 ; Decrement}),
+//           releases the ICB, and SEARCHes for new work.
+#pragma once
+
+#include <cmath>
+
+#include "exec/context.hpp"
+#include "runtime/high_level.hpp"
+#include "runtime/strategy.hpp"
+
+namespace selfsched::runtime {
+
+/// Execute one iteration's body: charge/spin the modeled cost and invoke
+/// the user callback if present.
+template <exec::ExecutionContext C>
+void run_body(C& ctx, const SchedState<C>& st,
+              const program::InnermostDesc& d, const IndexVec& ivec, i64 j,
+              Cycles cost_override = -1) {
+  const Cycles cost = cost_override >= 0 ? cost_override
+                      : d.cost            ? d.cost(ivec, j)
+                                          : st.opts.default_body_cost;
+  if constexpr (C::kIsSimulated) {
+    ctx.work(cost);
+    if (st.opts.run_bodies_in_sim && d.body) d.body(ctx.proc(), ivec, j);
+  } else {
+    if (d.body) {
+      d.body(ctx.proc(), ivec, j);
+    } else {
+      ctx.work(cost);
+    }
+  }
+}
+
+/// One Doacross iteration: wait for the dependence source of iteration
+/// j-distance, run the head segment, post, run the tail segment.
+template <exec::ExecutionContext C>
+void run_doacross_iteration(C& ctx, const SchedState<C>& st,
+                            const program::InnermostDesc& d, Icb<C>& icb,
+                            const IndexVec& ivec, i64 j) {
+  const program::DoacrossSpec& spec = *d.doacross;
+  auto wait_on = [&](i64 dist) {
+    if (j - dist < 1) return;
+    exec::PhaseScope<C> wait(ctx, exec::Phase::kDoacrossWait);
+    sync::Backoff backoff(1, st.opts.doacross_backoff_max);
+    typename C::Sync& flag = icb.da_flags[j - dist];
+    while (!ctx.sync_op(flag, Test::kEQ, 1, Op::kFetch).success) {
+      ctx.pause(backoff.next());
+    }
+  };
+  wait_on(spec.distance);
+  for (const i64 dist : spec.extra_distances) wait_on(dist);
+  const Cycles cost = d.cost ? d.cost(ivec, j) : st.opts.default_body_cost;
+  const Cycles head = static_cast<Cycles>(
+      std::llround(spec.post_fraction * static_cast<double>(cost)));
+  if constexpr (C::kIsSimulated) {
+    ctx.work(head);
+    if (st.opts.run_bodies_in_sim && d.body) d.body(ctx.proc(), ivec, j);
+  } else if (d.body) {
+    // Real bodies embed the dependence source themselves; we conservatively
+    // run the whole body before posting.
+    d.body(ctx.proc(), ivec, j);
+  } else {
+    ctx.work(head);
+  }
+  {
+    exec::PhaseScope<C> sync_phase(ctx, exec::Phase::kIterSync);
+    ctx.sync_op(icb.da_flags[j], Test::kNone, 0, Op::kStore, 1);
+  }
+  if (!d.body || C::kIsSimulated) {
+    ctx.work(cost - head);
+  }
+}
+
+/// The complete per-processor scheduler: runs until the program terminates.
+template <exec::ExecutionContext C>
+void worker_loop(C& ctx, SchedState<C>& st) {
+  WorkerCursor<C> cursor;
+  cursor.ivec.resize(st.prog->max_depth);
+
+  bool attached = search(ctx, st, cursor);
+  while (attached) {
+    const program::InnermostDesc& d = st.prog->loops[cursor.i];
+    const Strategy& strat =
+        d.doacross ? st.opts.doacross_strategy : st.opts.strategy;
+
+    // --- start: grab iterations ---
+    Dispatch grab;
+    {
+      exec::PhaseScope<C> phase(ctx, exec::Phase::kIterSync);
+      grab = dispatch_iterations(ctx, *cursor.ip, strat);
+    }
+    if (grab.count == 0) {
+      // Instance fully scheduled: detach and look for other work.
+      {
+        exec::PhaseScope<C> phase(ctx, exec::Phase::kIterSync);
+        ctx.sync_op(cursor.ip->pcount, Test::kNone, 0, Op::kDecrement);
+      }
+      attached = search(ctx, st, cursor);
+      continue;
+    }
+    ctx.stats().dispatches++;
+    if (grab.last_scheduled) {
+      // All iterations are scheduled (not necessarily completed): remove
+      // the ICB so searchers move on to other instances.
+      exec::PhaseScope<C> phase(ctx, exec::Phase::kExitEnter);
+      st.pool.delete_icb(ctx, cursor.ip->pool_list, cursor.ip);
+    }
+
+    // --- body: execute the grabbed iterations ---
+    {
+      exec::PhaseScope<C> phase(ctx, exec::Phase::kBody);
+      for (i64 j = grab.first; j < grab.first + grab.count; ++j) {
+        if (d.doacross) {
+          run_doacross_iteration(ctx, st, d, *cursor.ip, cursor.ivec, j);
+        } else {
+          run_body(ctx, st, d, cursor.ivec, j);
+        }
+        ctx.stats().iterations++;
+      }
+    }
+
+    // --- update: count completions; the last completer activates ---
+    i64 completed_before;
+    {
+      exec::PhaseScope<C> phase(ctx, exec::Phase::kIterSync);
+      completed_before = ctx.sync_op(cursor.ip->icount, Test::kNone, 0,
+                                     Op::kFetchAdd, grab.count)
+                             .fetched;
+    }
+    if (completed_before + grab.count == cursor.b) {
+      {
+        exec::PhaseScope<C> phase(ctx, exec::Phase::kExitEnter);
+        const Level lev =
+            exit_from(ctx, st, cursor.i, d.depth, cursor.ivec);
+        if (lev != 0) {
+          const LoopId targ = d.at_level(lev).next;
+          SS_DCHECK(targ != kNoLoop);
+          enter(ctx, st, targ, lev, cursor.ivec);
+        }
+      }
+      // Wait for every other attached processor to detach, then release.
+      {
+        exec::PhaseScope<C> phase(ctx, exec::Phase::kTeardown);
+        sync::Backoff backoff(1, st.opts.idle_backoff_max);
+        while (!ctx.sync_op(cursor.ip->pcount, Test::kEQ, 1, Op::kDecrement)
+                    .success) {
+          ctx.pause(backoff.next());
+        }
+        charge_cost<C>(ctx, &vtime::CostModel::icb_release);
+        st.icbs.release(ctx, cursor.ip);
+        ctx.stats().icbs_released++;
+        const i64 before =
+            ctx.sync_op(st.outstanding, Test::kNone, 0, Op::kDecrement)
+                .fetched;
+        SS_DCHECK(before >= 1);
+        if (before == 1) {
+          ctx.sync_op(st.done, Test::kNone, 0, Op::kStore, 1);
+        }
+      }
+      attached = search(ctx, st, cursor);
+    }
+    // else: keep scheduling from the same ICB (goto start).
+  }
+}
+
+/// Seed the program's initial activation (the paper's instrumented prologue)
+/// and handle the degenerate all-constructs-skipped case.
+template <exec::ExecutionContext C>
+void seed_program(C& ctx, SchedState<C>& st) {
+  exec::PhaseScope<C> phase(ctx, exec::Phase::kExitEnter);
+  IndexVec ivec;
+  ivec.resize(st.prog->max_depth);
+  enter(ctx, st, st.prog->entry, 0, ivec);
+  if (ctx.sync_op(st.outstanding, Test::kEQ, 0, Op::kFetch).success) {
+    // Every construct was guarded off or zero-trip: nothing to run.
+    ctx.sync_op(st.done, Test::kNone, 0, Op::kStore, 1);
+  }
+}
+
+}  // namespace selfsched::runtime

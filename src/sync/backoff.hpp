@@ -1,0 +1,36 @@
+// Bounded exponential backoff for busy-wait loops.
+//
+// The paper's algorithms spin on failed synchronization instructions
+// ("if (failure) goto spin").  On real hardware naive spinning saturates the
+// interconnect — the very effect the paper's overhead analysis (§IV) wants
+// kept small — so every spin site takes a Backoff.  The policy is engine-
+// agnostic: it yields a growing number of abstract "pause units"; the
+// execution context turns them into cpu_relax() iterations (threads) or
+// idle virtual cycles (vtime).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace selfsched::sync {
+
+class Backoff {
+ public:
+  explicit constexpr Backoff(Cycles initial = 1, Cycles max = 1024)
+      : cur_(initial), initial_(initial), max_(max) {}
+
+  /// Pause budget for the next retry; doubles up to the cap.
+  constexpr Cycles next() {
+    const Cycles c = cur_;
+    cur_ = cur_ * 2 <= max_ ? cur_ * 2 : max_;
+    return c;
+  }
+
+  constexpr void reset() { cur_ = initial_; }
+
+ private:
+  Cycles cur_;
+  Cycles initial_;
+  Cycles max_;
+};
+
+}  // namespace selfsched::sync

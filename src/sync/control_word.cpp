@@ -1,0 +1,40 @@
+#include "sync/control_word.hpp"
+
+namespace selfsched::sync {
+
+u32 ControlWord::leading_one(u32 start) const {
+  const u32 nwords = static_cast<u32>(words_.size());
+  if (start >= num_bits_) start = 0;
+  const u32 start_word = start >> 6;
+  for (u32 k = 0; k < nwords; ++k) {
+    const u32 wi = (start_word + k) % nwords;
+    u64 w = words_[wi]->load(std::memory_order_seq_cst);
+    if (wi == start_word && k == 0) {
+      // Mask off bits below the rotated origin on the first word; they are
+      // re-examined on the wrap-around pass below.
+      w &= ~u64{0} << (start & 63);
+    }
+    if (w != 0) {
+      const u32 bit = wi * 64 + static_cast<u32>(std::countr_zero(w));
+      if (bit < num_bits_) return bit;
+    }
+  }
+  // Wrap-around: bits below `start` in the origin word.
+  u64 w = words_[start_word]->load(std::memory_order_seq_cst);
+  w &= (start & 63) ? ((u64{1} << (start & 63)) - 1) : 0;
+  if (w != 0) {
+    const u32 bit = start_word * 64 + static_cast<u32>(std::countr_zero(w));
+    if (bit < num_bits_) return bit;
+  }
+  return kEmpty;
+}
+
+u32 ControlWord::popcount() const {
+  u32 n = 0;
+  for (const auto& w : words_) {
+    n += static_cast<u32>(std::popcount(w->load(std::memory_order_seq_cst)));
+  }
+  return n;
+}
+
+}  // namespace selfsched::sync

@@ -1,0 +1,72 @@
+// The m-bit control word SW of the task pool (§III-A, Fig. 7): bit i is 1
+// when the i-th parallel linked list is non-empty.  The paper's hardware has
+// a leading-one-detection instruction; we provide the same operation over a
+// multi-word atomic bitset with std::countl_zero, so m may exceed the
+// machine word size.
+//
+// SW is advisory: the paper's SEARCH re-validates under the list lock after
+// selecting a list, so a stale bit costs a retry, never correctness.  That
+// lets every bit operation be a single relaxed-ish RMW on one word.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace selfsched::sync {
+
+class ControlWord {
+ public:
+  /// Sentinel returned by leading_one() when every bit is zero — the
+  /// paper's "failure" signal of the Fetch on SW.
+  static constexpr u32 kEmpty = 0xffffffffu;
+
+  explicit ControlWord(u32 num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64) {
+    SS_CHECK(num_bits > 0);
+  }
+
+  u32 size() const { return num_bits_; }
+
+  /// SW(i) = 1.
+  void set(u32 i) {
+    SS_DCHECK(i < num_bits_);
+    words_[i >> 6]->fetch_or(bit_mask(i), std::memory_order_seq_cst);
+  }
+
+  /// SW(i) = 0.
+  void reset(u32 i) {
+    SS_DCHECK(i < num_bits_);
+    words_[i >> 6]->fetch_and(~bit_mask(i), std::memory_order_seq_cst);
+  }
+
+  bool test(u32 i) const {
+    SS_DCHECK(i < num_bits_);
+    return (words_[i >> 6]->load(std::memory_order_seq_cst) & bit_mask(i)) !=
+           0;
+  }
+
+  /// Leading-one-detection: index of the first set bit (lowest loop number,
+  /// i.e. topmost innermost parallel loop), or kEmpty if all clear.
+  /// `start` rotates the scan origin so different processors prefer
+  /// different lists, spreading contention (an implementation refinement;
+  /// with start=0 this is exactly the paper's operation).
+  u32 leading_one(u32 start = 0) const;
+
+  /// Number of set bits (diagnostics/tests only).
+  u32 popcount() const;
+
+ private:
+  static constexpr u64 bit_mask(u32 i) { return u64{1} << (i & 63); }
+
+  u32 num_bits_;
+  // Padded words: lists owned by different loops update different words
+  // without false sharing (for m <= 64 there is a single word anyway).
+  std::vector<CachePadded<std::atomic<u64>>> words_;
+};
+
+}  // namespace selfsched::sync

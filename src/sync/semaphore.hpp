@@ -1,0 +1,36 @@
+// The paper's general semaphore (§II-A):
+//   P:  again: {(S > 0); Decrement}; if (failure) goto again;
+//   V:  {S; Increment};
+// A spinning counting semaphore over one synchronization variable.
+#pragma once
+
+#include "common/cpu_relax.hpp"
+#include "sync/backoff.hpp"
+#include "sync/sync_var.hpp"
+
+namespace selfsched::sync {
+
+class Semaphore {
+ public:
+  explicit Semaphore(i64 initial = 0) : s_(initial) {}
+
+  /// Non-blocking P; true on success.
+  bool try_p() { return s_.try_op(Test::kGT, 0, Op::kDecrement).success; }
+
+  /// Blocking (spinning) P.
+  void p() {
+    Backoff backoff;
+    while (!try_p()) {
+      for (Cycles i = backoff.next(); i > 0; --i) cpu_relax();
+    }
+  }
+
+  void v() { s_.try_op(Test::kNone, 0, Op::kIncrement); }
+
+  i64 value() const { return s_.load(); }
+
+ private:
+  SyncVar s_;
+};
+
+}  // namespace selfsched::sync

@@ -1,0 +1,52 @@
+// The paper's lock (§III-A): a synchronization variable L initialized to 1;
+//   acquire:  spin: {L = 1; Decrement}; if (failure) goto spin;
+//   release:  {L; Increment};
+// This header provides the standalone real-hardware lock built directly on
+// SyncVar.  The scheduler itself issues the same instruction sequence
+// through its execution context (see runtime/ctx_ops.hpp) so that the
+// virtual-time engine can charge cycles for lock traffic.
+#pragma once
+
+#include "common/cpu_relax.hpp"
+#include "sync/backoff.hpp"
+#include "sync/sync_var.hpp"
+
+namespace selfsched::sync {
+
+class SpinLock {
+ public:
+  SpinLock() : l_(1) {}
+
+  bool try_lock() {
+    return l_.try_op(Test::kEQ, 1, Op::kDecrement).success;
+  }
+
+  void lock() {
+    Backoff backoff;
+    while (!try_lock()) {
+      for (Cycles i = backoff.next(); i > 0; --i) cpu_relax();
+    }
+  }
+
+  void unlock() { l_.try_op(Test::kNone, 0, Op::kIncrement); }
+
+  /// True if currently held (diagnostics; racy by nature).
+  bool is_locked() const { return l_.load() != 1; }
+
+ private:
+  SyncVar l_;
+};
+
+/// RAII guard (satisfies BasicLockable so std::lock_guard also works).
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& l) : l_(l) { l_.lock(); }
+  ~SpinLockGuard() { l_.unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& l_;
+};
+
+}  // namespace selfsched::sync

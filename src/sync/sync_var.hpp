@@ -1,0 +1,83 @@
+// Real-hardware backend for the paper's synchronization instructions:
+// an indivisible test-and-op on a shared integer, implemented as a CAS loop
+// on std::atomic<i64>.  Sequentially consistent by default — the paper's
+// machine model predates weaker orders, and the scheduler's correctness
+// argument assumes a total order of synchronization instructions.
+#pragma once
+
+#include <atomic>
+
+#include "common/cacheline.hpp"
+#include "common/cpu_relax.hpp"
+#include "common/types.hpp"
+#include "sync/test_op.hpp"
+
+namespace selfsched::sync {
+
+/// One synchronization variable.  Cache-line aligned: the paper's hardware
+/// gives every synchronization variable a dedicated shared-memory location;
+/// on modern machines the analogous requirement is that hot variables
+/// (index, icount, pcount, locks) do not false-share.
+class alignas(kCacheLine) SyncVar {
+ public:
+  constexpr SyncVar() noexcept : v_(0) {}
+  constexpr explicit SyncVar(i64 init) noexcept : v_(init) {}
+
+  SyncVar(const SyncVar&) = delete;
+  SyncVar& operator=(const SyncVar&) = delete;
+
+  /// The indivisible synchronization instruction {test ; op}.
+  /// Fast paths avoid the CAS loop where a single hardware primitive
+  /// already provides the required atomicity.
+  SyncResult try_op(Test test, i64 test_value, Op op, i64 operand = 0) {
+    if (test == Test::kNone) {
+      switch (op) {
+        case Op::kFetch:
+          return {true, v_.load(std::memory_order_seq_cst)};
+        case Op::kStore:
+          v_.store(operand, std::memory_order_seq_cst);
+          return {true, operand};
+        case Op::kIncrement:
+          return {true, v_.fetch_add(1, std::memory_order_seq_cst)};
+        case Op::kDecrement:
+          return {true, v_.fetch_sub(1, std::memory_order_seq_cst)};
+        case Op::kFetchAdd:
+          return {true, v_.fetch_add(operand, std::memory_order_seq_cst)};
+        case Op::kFetchOr:
+          return {true, v_.fetch_or(operand, std::memory_order_seq_cst)};
+        case Op::kFetchAnd:
+          return {true, v_.fetch_and(operand, std::memory_order_seq_cst)};
+      }
+    }
+    i64 cur = v_.load(std::memory_order_seq_cst);
+    for (;;) {
+      if (!test_holds(test, cur, test_value)) return {false, cur};
+      if (op_is_pure_read(op)) return {true, cur};
+      const i64 next = apply_op(op, cur, operand);
+      if (v_.compare_exchange_weak(cur, next, std::memory_order_seq_cst,
+                                   std::memory_order_seq_cst)) {
+        return {true, cur};
+      }
+      cpu_relax();  // contended CAS; cur was reloaded by the failed CAS
+    }
+  }
+
+  /// Unconditional load (null-test Fetch).
+  i64 load() const { return v_.load(std::memory_order_seq_cst); }
+
+  /// Unconditional store (null-test Store).
+  void store(i64 x) { v_.store(x, std::memory_order_seq_cst); }
+
+  /// Plain (relaxed) initialization of a variable that is not yet shared —
+  /// e.g. ICB fields set up before the ICB is published by APPEND.  The
+  /// publishing synchronization instruction provides the ordering.
+  void reset(i64 x) { v_.store(x, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<i64> v_;
+};
+
+static_assert(sizeof(SyncVar) == kCacheLine,
+              "SyncVar must occupy exactly one cache line");
+
+}  // namespace selfsched::sync

@@ -1,0 +1,31 @@
+#include "sync/test_op.hpp"
+
+namespace selfsched::sync {
+
+const char* test_name(Test t) {
+  switch (t) {
+    case Test::kNone: return "null";
+    case Test::kGT: return ">";
+    case Test::kGE: return ">=";
+    case Test::kLT: return "<";
+    case Test::kLE: return "<=";
+    case Test::kEQ: return "==";
+    case Test::kNE: return "!=";
+  }
+  return "?";
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kFetch: return "Fetch";
+    case Op::kStore: return "Store";
+    case Op::kIncrement: return "Increment";
+    case Op::kDecrement: return "Decrement";
+    case Op::kFetchAdd: return "Fetch&Add";
+    case Op::kFetchOr: return "Fetch&Or";
+    case Op::kFetchAnd: return "Fetch&And";
+  }
+  return "?";
+}
+
+}  // namespace selfsched::sync

@@ -1,0 +1,89 @@
+// The paper's machine model (§II-A): a synchronization instruction is an
+// indivisible {test on x ; operation on x} pair on an integer synchronization
+// variable in shared memory.  This header defines that vocabulary — the test
+// relations, the operations, and their pure semantics on an i64 — shared by
+// the real-atomics implementation (sync/sync_var.hpp) and the virtual-time
+// simulator (vtime/sim_sync via vtime/context.hpp).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace selfsched::sync {
+
+/// Test relation between the current value of the synchronization variable
+/// and the integer supplied by the instruction.  kNone is the paper's "null
+/// test": the operation is executed unconditionally.
+enum class Test : u32 {
+  kNone,
+  kGT,  // x >  t
+  kGE,  // x >= t
+  kLT,  // x <  t
+  kLE,  // x <= t
+  kEQ,  // x == t
+  kNE,  // x != t
+};
+
+/// Operation applied to the synchronization variable when the test succeeds.
+/// Fetch leaves the variable unchanged and returns its value; Store replaces
+/// it; Increment/Decrement are Fetch-and-add(±1); FetchAdd is the general
+/// Fetch-and-add(k).  All of them report the pre-operation value.
+enum class Op : u32 {
+  kFetch,
+  kStore,
+  kIncrement,
+  kDecrement,
+  kFetchAdd,
+  // Bitwise RMW extensions beyond the paper's §II-A list.  The paper's
+  // hardware manipulates the control word SW with dedicated bit-set/clear
+  // and leading-one-detection instructions; we model those through the same
+  // test-and-op interface so both execution engines cover them uniformly.
+  kFetchOr,
+  kFetchAnd,
+};
+
+/// Result of a synchronization instruction: the "failure/success signal sent
+/// back to the processor" plus the fetched (pre-operation) value.  `fetched`
+/// is valid on success for every op, and holds the observed value on failure
+/// (useful for backoff heuristics; the paper's hardware discards it).
+struct SyncResult {
+  bool success;
+  i64 fetched;
+};
+
+/// Pure semantics of the test relation.
+constexpr bool test_holds(Test t, i64 current, i64 test_value) {
+  switch (t) {
+    case Test::kNone: return true;
+    case Test::kGT: return current > test_value;
+    case Test::kGE: return current >= test_value;
+    case Test::kLT: return current < test_value;
+    case Test::kLE: return current <= test_value;
+    case Test::kEQ: return current == test_value;
+    case Test::kNE: return current != test_value;
+  }
+  return false;  // unreachable
+}
+
+/// Pure semantics of the operation: value after applying `op` with operand
+/// `k` to `current`.  (For kFetch the variable is unchanged.)
+constexpr i64 apply_op(Op op, i64 current, i64 k) {
+  switch (op) {
+    case Op::kFetch: return current;
+    case Op::kStore: return k;
+    case Op::kIncrement: return current + 1;
+    case Op::kDecrement: return current - 1;
+    case Op::kFetchAdd: return current + k;
+    case Op::kFetchOr: return current | k;
+    case Op::kFetchAnd: return current & k;
+  }
+  return current;  // unreachable
+}
+
+/// True when the op can be expressed as a single hardware RMW (or plain
+/// load/store) under a null test — the fast path in the atomics backend.
+constexpr bool op_is_pure_read(Op op) { return op == Op::kFetch; }
+
+const char* test_name(Test t);
+const char* op_name(Op op);
+
+}  // namespace selfsched::sync

@@ -1,0 +1,64 @@
+#include "workloads/iteration_cost.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/small_vec.hpp"
+
+namespace selfsched::workloads {
+
+namespace {
+
+/// Deterministic per-iteration hash: identical on every processor/engine.
+u64 iter_hash(u64 seed, const IndexVec& ivec, i64 j) {
+  u64 h = mix64(seed ^ 0x243f6a8885a308d3ULL);
+  for (const i64 v : ivec) h = mix64(h ^ static_cast<u64>(v));
+  return mix64(h ^ static_cast<u64>(j));
+}
+
+}  // namespace
+
+program::CostFn constant_cost(Cycles c) {
+  SS_CHECK(c >= 0);
+  return [c](const IndexVec&, i64) { return c; };
+}
+
+program::CostFn uniform_cost(u64 seed, Cycles lo, Cycles hi) {
+  SS_CHECK(lo >= 0 && hi >= lo);
+  const u64 span = static_cast<u64>(hi - lo) + 1;
+  return [seed, lo, span](const IndexVec& ivec, i64 j) {
+    return lo + static_cast<Cycles>(iter_hash(seed, ivec, j) % span);
+  };
+}
+
+program::CostFn bimodal_cost(u64 seed, Cycles light, Cycles heavy,
+                             u32 heavy_permille) {
+  SS_CHECK(light >= 0 && heavy >= light && heavy_permille <= 1000);
+  return [seed, light, heavy, heavy_permille](const IndexVec& ivec, i64 j) {
+    const bool is_heavy = (iter_hash(seed, ivec, j) % 1000) < heavy_permille;
+    return is_heavy ? heavy : light;
+  };
+}
+
+program::CostFn decreasing_cost(i64 n, Cycles base, Cycles slope) {
+  SS_CHECK(n >= 1 && base >= 0 && slope >= 0);
+  return [n, base, slope](const IndexVec&, i64 j) {
+    return base + slope * (n - j);
+  };
+}
+
+program::CostFn increasing_cost(Cycles base, Cycles slope) {
+  SS_CHECK(base >= 0 && slope >= 0);
+  return [base, slope](const IndexVec&, i64 j) {
+    return base + slope * (j - 1);
+  };
+}
+
+double mean_cost(const program::CostFn& f, i64 n) {
+  SS_CHECK(n >= 1);
+  IndexVec empty;
+  double total = 0;
+  for (i64 j = 1; j <= n; ++j) total += static_cast<double>(f(empty, j));
+  return total / static_cast<double>(n);
+}
+
+}  // namespace selfsched::workloads

@@ -1,0 +1,41 @@
+// Iteration-time distributions for synthetic workloads.  The paper's whole
+// motivation is that "the execution time of the loop body may vary
+// substantially from iteration to iteration"; these factories produce the
+// canonical variance patterns used by the strategy benches:
+//
+//   constant     — the static-scheduling-friendly case
+//   uniform      — i.i.d. noise in [lo, hi]
+//   bimodal      — rare expensive iterations (IF-THEN-ELSE with a heavy
+//                  branch), the worst case for chunking
+//   decreasing   — cost ∝ (n - j), triangular work à la adjoint
+//                  convolution: GSS's motivating pattern
+//   increasing   — cost ∝ j, the adversarial mirror of decreasing
+//
+// All randomness is a pure hash of (seed, ivec, j): iteration costs are
+// reproducible regardless of which processor runs them, in either engine.
+#pragma once
+
+#include "common/types.hpp"
+#include "program/ast.hpp"
+
+namespace selfsched::workloads {
+
+program::CostFn constant_cost(Cycles c);
+
+program::CostFn uniform_cost(u64 seed, Cycles lo, Cycles hi);
+
+/// With probability `heavy_permille`/1000, cost `heavy`; otherwise `light`.
+program::CostFn bimodal_cost(u64 seed, Cycles light, Cycles heavy,
+                             u32 heavy_permille);
+
+/// cost(j) = base + slope * (n - j): total work = n*base + slope*n(n-1)/2.
+program::CostFn decreasing_cost(i64 n, Cycles base, Cycles slope);
+
+/// cost(j) = base + slope * (j - 1).
+program::CostFn increasing_cost(Cycles base, Cycles slope);
+
+/// Mean cost of a cost function over iterations 1..n with an empty ivec
+/// (exact enumeration; harness-side helper for model comparisons).
+double mean_cost(const program::CostFn& f, i64 n);
+
+}  // namespace selfsched::workloads

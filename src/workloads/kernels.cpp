@@ -1,0 +1,160 @@
+#include "workloads/kernels.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace selfsched::workloads {
+
+using namespace program;  // NOLINT: kernel module builds on the whole DSL
+
+namespace {
+std::size_t idx(i64 j) { return static_cast<std::size_t>(j); }
+}  // namespace
+
+// ---------------------------------------------------------------- Daxpy --
+
+DaxpyKernel::DaxpyKernel(i64 n_) : n(n_) {
+  SS_CHECK(n >= 1);
+  x.resize(idx(n) + 1);
+  y.resize(idx(n) + 1);
+  for (i64 j = 1; j <= n; ++j) {
+    x[idx(j)] = static_cast<double>(j);
+    y[idx(j)] = 1.0;
+  }
+}
+
+NestedLoopProgram DaxpyKernel::make_program() {
+  NodeSeq top;
+  top.push_back(doall("daxpy", n, [this](ProcId, const IndexVec&, i64 j) {
+    y[idx(j)] = a * x[idx(j)] + y[idx(j)];
+  }));
+  return NestedLoopProgram(std::move(top));
+}
+
+i64 DaxpyKernel::verify() const {
+  i64 bad = 0;
+  for (i64 j = 1; j <= n; ++j) {
+    if (y[idx(j)] != a * static_cast<double>(j) + 1.0) ++bad;
+  }
+  return bad;
+}
+
+// -------------------------------------------------------------- Stencil --
+
+StencilKernel::StencilKernel(i64 n_, i64 sweeps_) : n(n_), sweeps(sweeps_) {
+  SS_CHECK(n >= 1 && sweeps >= 1);
+  buf0.assign(idx(n) + 2, 0.0);
+  buf1.assign(idx(n) + 2, 0.0);
+  for (i64 j = 1; j <= n; ++j) {
+    buf0[idx(j)] = static_cast<double>(j % 17);
+  }
+}
+
+NestedLoopProgram StencilKernel::make_program() {
+  // ser S (1..sweeps) { par j (1..n): dst[j] = avg3(src[j]) }
+  // src/dst ping-pong on the parity of the serial index S = ivec[1].
+  NodeSeq top;
+  top.push_back(ser(
+      sweeps, seq(doall("sweep", n, [this](ProcId, const IndexVec& ivec,
+                                           i64 j) {
+        const bool odd_sweep = ivec[1] % 2 == 1;
+        const std::vector<double>& src = odd_sweep ? buf0 : buf1;
+        std::vector<double>& dst = odd_sweep ? buf1 : buf0;
+        dst[idx(j)] =
+            (src[idx(j) - 1] + src[idx(j)] + src[idx(j) + 1]) / 3.0;
+      }))));
+  return NestedLoopProgram(std::move(top));
+}
+
+double StencilKernel::verify() const {
+  // Serial recomputation from the same initial state.
+  std::vector<double> a(idx(n) + 2, 0.0), b(idx(n) + 2, 0.0);
+  for (i64 j = 1; j <= n; ++j) a[idx(j)] = static_cast<double>(j % 17);
+  for (i64 s = 1; s <= sweeps; ++s) {
+    const std::vector<double>& src = (s % 2 == 1) ? a : b;
+    std::vector<double>& dst = (s % 2 == 1) ? b : a;
+    for (i64 j = 1; j <= n; ++j) {
+      dst[idx(j)] = (src[idx(j) - 1] + src[idx(j)] + src[idx(j) + 1]) / 3.0;
+    }
+  }
+  const std::vector<double>& final_ref = (sweeps % 2 == 1) ? b : a;
+  const std::vector<double>& final_got = (sweeps % 2 == 1) ? buf1 : buf0;
+  double max_diff = 0.0;
+  for (i64 j = 1; j <= n; ++j) {
+    max_diff = std::max(max_diff,
+                        std::abs(final_ref[idx(j)] - final_got[idx(j)]));
+  }
+  return max_diff;
+}
+
+// --------------------------------------------- Adjoint convolution (GSS) --
+
+AdjointConvolutionKernel::AdjointConvolutionKernel(i64 n_) : n(n_) {
+  SS_CHECK(n >= 1);
+  x.resize(idx(n) + 1);
+  out.assign(idx(n) + 1, 0.0);
+  for (i64 j = 1; j <= n; ++j) {
+    x[idx(j)] = 1.0 / static_cast<double>(j);
+  }
+}
+
+NestedLoopProgram AdjointConvolutionKernel::make_program() {
+  NodeSeq top;
+  top.push_back(doall(
+      "adjconv", n,
+      [this](ProcId, const IndexVec&, i64 i) {
+        double acc = 0.0;
+        for (i64 j = i; j <= n; ++j) acc += x[idx(i)] * x[idx(j)];
+        out[idx(i)] = acc;
+      },
+      // Cost model mirrors the real triangular work (for vtime runs).
+      [this](const IndexVec&, i64 i) {
+        return static_cast<Cycles>(n - i + 1);
+      }));
+  return NestedLoopProgram(std::move(top));
+}
+
+double AdjointConvolutionKernel::verify() const {
+  double max_diff = 0.0;
+  for (i64 i = 1; i <= n; ++i) {
+    double acc = 0.0;
+    for (i64 j = i; j <= n; ++j) acc += x[idx(i)] * x[idx(j)];
+    max_diff = std::max(max_diff, std::abs(acc - out[idx(i)]));
+  }
+  return max_diff;
+}
+
+// ----------------------------------------------------------- Recurrence --
+
+RecurrenceKernel::RecurrenceKernel(i64 n_) : n(n_) {
+  SS_CHECK(n >= 1);
+  b.resize(idx(n) + 1);
+  y.assign(idx(n) + 1, 0.0);
+  for (i64 j = 1; j <= n; ++j) {
+    b[idx(j)] = static_cast<double>(j % 7) * 0.125;
+  }
+  y[0] = 1.0;
+}
+
+NestedLoopProgram RecurrenceKernel::make_program() {
+  NodeSeq top;
+  top.push_back(doacross(
+      "recurrence", n, DoacrossSpec{/*distance=*/1, /*post_fraction=*/1.0},
+      [this](ProcId, const IndexVec&, i64 j) {
+        y[idx(j)] = a * y[idx(j) - 1] + b[idx(j)];
+      }));
+  return NestedLoopProgram(std::move(top));
+}
+
+double RecurrenceKernel::verify() const {
+  double prev = 1.0;
+  double max_diff = 0.0;
+  for (i64 j = 1; j <= n; ++j) {
+    prev = a * prev + b[idx(j)];
+    max_diff = std::max(max_diff, std::abs(prev - y[idx(j)]));
+  }
+  return max_diff;
+}
+
+}  // namespace selfsched::workloads

@@ -1,0 +1,67 @@
+// Real computational kernels for the threaded engine: loop bodies with
+// verifiable results, so examples and integration tests can check that the
+// scheduler computes the right answer, not just the right iteration count.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "program/tables.hpp"
+
+namespace selfsched::workloads {
+
+/// y[j] = a*x[j] + y[j], iterations 1..n (j is 1-based; index 0 unused).
+struct DaxpyKernel {
+  double a = 2.0;
+  std::vector<double> x, y;
+
+  explicit DaxpyKernel(i64 n);
+  program::NestedLoopProgram make_program();
+  /// Verify against the closed form; returns the number of mismatches.
+  i64 verify() const;
+
+  i64 n;
+};
+
+/// 1-D 3-point Jacobi sweep: out[j] = (in[j-1] + in[j] + in[j+1]) / 3 for
+/// j in 1..n, repeated `sweeps` times as a serial loop around a parallel
+/// loop (ping-pong buffers selected by the serial index).
+struct StencilKernel {
+  std::vector<double> buf0, buf1;
+
+  StencilKernel(i64 n, i64 sweeps);
+  program::NestedLoopProgram make_program();
+  /// Reference serial recomputation; returns max abs difference.
+  double verify() const;
+
+  i64 n;
+  i64 sweeps;
+};
+
+/// Triangular "adjoint convolution": out[i] = Σ_{j>=i} x[i]*x[j] — the
+/// classic decreasing-workload loop GSS was designed for.  Parallel over i
+/// with an innermost serial reduction folded into the body.
+struct AdjointConvolutionKernel {
+  std::vector<double> x, out;
+
+  explicit AdjointConvolutionKernel(i64 n);
+  program::NestedLoopProgram make_program();
+  double verify() const;
+
+  i64 n;
+};
+
+/// First-order linear recurrence y[j] = a*y[j-1] + b[j] as a Doacross
+/// chain with distance 1 (the SDSS example workload).
+struct RecurrenceKernel {
+  double a = 0.5;
+  std::vector<double> b, y;
+
+  explicit RecurrenceKernel(i64 n);
+  program::NestedLoopProgram make_program();
+  double verify() const;
+
+  i64 n;
+};
+
+}  // namespace selfsched::workloads

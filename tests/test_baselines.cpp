@@ -1,0 +1,115 @@
+// Tests of the baseline executors: the sequential oracle's counts against
+// closed forms, and the static block/cyclic preschedulers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "baselines/sequential.hpp"
+#include "baselines/static_sched.hpp"
+#include "helpers.hpp"
+#include "program/fig1.hpp"
+#include "workloads/iteration_cost.hpp"
+#include "workloads/programs.hpp"
+
+namespace selfsched::baselines {
+namespace {
+
+TEST(Sequential, Fig1MatchesClosedForm) {
+  for (i64 ni : {1, 2, 3, 5}) {
+    program::Fig1Params p;
+    p.ni = ni;
+    auto prog = program::make_fig1(p);
+    const SerialStats s = run_sequential(prog);
+    EXPECT_EQ(static_cast<i64>(s.iterations),
+              program::fig1_total_iterations(p))
+        << "ni=" << ni;
+  }
+}
+
+TEST(Sequential, InstanceCountsFig1) {
+  program::Fig1Params p;  // ni=2, nj=2, nk=3
+  auto prog = program::make_fig1(p);
+  const SerialStats s = run_sequential(prog);
+  // A: 2, B: 4, C: 12, D: 12, E: 4, F: 1 (odd I), G: 1 (even I), H: 2.
+  EXPECT_EQ(s.instances, 2u + 4u + 12u + 12u + 4u + 1u + 1u + 2u);
+}
+
+TEST(Sequential, TriangularIterationCount) {
+  auto prog = workloads::triangular(10, 1);
+  const SerialStats s = run_sequential(prog);
+  EXPECT_EQ(s.iterations, 55u);  // 1+2+...+10
+}
+
+TEST(Sequential, CostAccumulation) {
+  auto prog = workloads::flat_doall(
+      10, [](const IndexVec&, i64 j) -> Cycles { return j; });
+  const SerialStats s = run_sequential(prog);
+  EXPECT_EQ(s.total_body_cost, 55);
+}
+
+TEST(Sequential, DefaultCostUsedWhenNoCostFn) {
+  program::NodeSeq top;
+  top.push_back(program::doall("x", 4));
+  program::NestedLoopProgram prog(std::move(top));
+  const SerialStats s = run_sequential(prog, /*default_body_cost=*/7);
+  EXPECT_EQ(s.total_body_cost, 28);
+}
+
+TEST(StaticSched, BlockMakespanUniformCosts) {
+  // 100 iterations of cost 2 over 4 processors: 25 each => 50.
+  const Cycles m = static_makespan(100, workloads::constant_cost(2), 4,
+                                   StaticKind::kBlock);
+  EXPECT_EQ(m, 50);
+}
+
+TEST(StaticSched, CyclicBalancesLinearImbalance) {
+  // cost(j) = j: block gives the last processor the heavy tail; cyclic
+  // interleaves.  Cyclic must be strictly better.
+  auto cost = [](const IndexVec&, i64 j) -> Cycles { return j; };
+  const Cycles block = static_makespan(1000, cost, 8, StaticKind::kBlock);
+  const Cycles cyclic = static_makespan(1000, cost, 8, StaticKind::kCyclic);
+  EXPECT_LT(cyclic, block);
+  // Ideal balance: total = 500500, /8 = 62562.5.
+  EXPECT_NEAR(static_cast<double>(cyclic), 500500.0 / 8, 1000.0);
+}
+
+TEST(StaticSched, BlockSuffersOnDecreasingCosts) {
+  auto cost = workloads::decreasing_cost(1000, 1, 2);
+  const Cycles block = static_makespan(1000, cost, 4, StaticKind::kBlock);
+  // First processor owns the heaviest quarter.
+  EXPECT_GT(block, static_makespan(1000, cost, 4, StaticKind::kCyclic));
+}
+
+TEST(StaticSched, ParallelForCoversAllIterationsOnce) {
+  for (StaticKind kind : {StaticKind::kBlock, StaticKind::kCyclic}) {
+    std::vector<std::atomic<int>> hits(101);
+    for (auto& h : hits) h.store(0);
+    static_parallel_for(100, 4, kind, [&](ProcId, i64 j) {
+      hits[static_cast<std::size_t>(j)].fetch_add(1);
+    });
+    for (i64 j = 1; j <= 100; ++j) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(j)].load(), 1)
+          << static_kind_name(kind) << " iteration " << j;
+    }
+  }
+}
+
+TEST(StaticSched, SingleProcessorDegenerates) {
+  const Cycles m = static_makespan(50, workloads::constant_cost(3), 1,
+                                   StaticKind::kBlock);
+  EXPECT_EQ(m, 150);
+  i64 sum = 0;
+  static_parallel_for(50, 1, StaticKind::kCyclic,
+                      [&](ProcId, i64 j) { sum += j; });
+  EXPECT_EQ(sum, 50 * 51 / 2);
+}
+
+TEST(StaticSched, KindNames) {
+  EXPECT_STREQ(static_kind_name(StaticKind::kBlock), "static-block");
+  EXPECT_STREQ(static_kind_name(StaticKind::kCyclic), "static-cyclic");
+}
+
+}  // namespace
+}  // namespace selfsched::baselines

@@ -1,0 +1,162 @@
+// Tests of the instance-level macro-dataflow graph (Fig. 4): node set,
+// activation edges, barrier joins, serial chains, and the critical-path /
+// Brent-bound analysis against actual scheduled makespans.
+#include <gtest/gtest.h>
+
+#include "baselines/sequential.hpp"
+#include "program/fig1.hpp"
+#include "program/instance_graph.hpp"
+#include "runtime/scheduler.hpp"
+#include "workloads/programs.hpp"
+
+namespace selfsched::program {
+namespace {
+
+const InstanceNode* find_node(const InstanceGraph& g,
+                              const NestedLoopProgram& p,
+                              const std::string& name,
+                              std::initializer_list<i64> outer) {
+  for (const InstanceNode& n : g.nodes) {
+    if (p.loop(n.loop).name != name) continue;
+    bool match = true;
+    std::size_t k = 1;  // skip the wrapper index
+    for (const i64 v : outer) {
+      if (n.ivec[k++] != v) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return &n;
+  }
+  return nullptr;
+}
+
+TEST(InstanceGraph, FlatLoopIsOneNode) {
+  auto prog = workloads::flat_doall(
+      10, [](const IndexVec&, i64) -> Cycles { return 7; });
+  const auto g = build_instance_graph(prog);
+  ASSERT_EQ(g.nodes.size(), 1u);
+  EXPECT_EQ(g.nodes[0].bound, 10);
+  EXPECT_EQ(g.nodes[0].body_cost, 70);
+  EXPECT_EQ(g.total_work(), 70);
+  EXPECT_EQ(g.critical_path(), 7);  // all iterations parallel
+  EXPECT_EQ(g.initial.size(), 1u);
+}
+
+TEST(InstanceGraph, SequenceChains) {
+  NodeSeq top;
+  top.push_back(doall("a", 2, nullptr, [](const IndexVec&, i64) {
+    return Cycles{10};
+  }));
+  top.push_back(doall("b", 3, nullptr, [](const IndexVec&, i64) {
+    return Cycles{20};
+  }));
+  NestedLoopProgram prog(std::move(top));
+  const auto g = build_instance_graph(prog);
+  ASSERT_EQ(g.nodes.size(), 2u);
+  EXPECT_EQ(g.nodes[0].activates.size(), 1u);
+  EXPECT_EQ(g.nodes[1].preds, (std::vector<u32>{0}));
+  EXPECT_EQ(g.critical_path(), 10 + 20);
+}
+
+TEST(InstanceGraph, BarrierJoinCollectsAllSiblings) {
+  // par I(3) { w }; after — `after` must be gated by all three instances
+  // of w.
+  NodeSeq top;
+  top.push_back(par(3, seq(doall("w", 2))));
+  top.push_back(doall("after", 1));
+  NestedLoopProgram prog(std::move(top));
+  const auto g = build_instance_graph(prog);
+  ASSERT_EQ(g.nodes.size(), 4u);
+  const InstanceNode* after = find_node(g, prog, "after", {});
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->preds.size(), 3u);
+}
+
+TEST(InstanceGraph, SerialLoopChainsCyclically) {
+  // ser K(3) { c } : c@1 -> c@2 -> c@3.
+  NodeSeq top;
+  top.push_back(ser(3, seq(doall("c", 2))));
+  NestedLoopProgram prog(std::move(top));
+  const auto g = build_instance_graph(prog);
+  ASSERT_EQ(g.nodes.size(), 3u);
+  EXPECT_EQ(g.nodes[1].preds, (std::vector<u32>{0}));
+  EXPECT_EQ(g.nodes[2].preds, (std::vector<u32>{1}));
+}
+
+TEST(InstanceGraph, Fig1InstanceSetMatchesOracle) {
+  Fig1Params p;  // defaults: ni=2, nj=2, nk=3
+  auto prog = make_fig1(p);
+  const auto g = build_instance_graph(prog, 200);
+  const auto serial = baselines::run_sequential(prog, 200,
+                                                /*call_bodies=*/false);
+  EXPECT_EQ(g.nodes.size(), serial.instances);
+  EXPECT_EQ(g.total_iterations(), serial.iterations);
+  EXPECT_EQ(g.total_work(), serial.total_body_cost);
+  // The diamond activates exactly one branch: F (odd I) or G (even I).
+  EXPECT_NE(find_node(g, prog, "F", {1}), nullptr);
+  EXPECT_EQ(find_node(g, prog, "F", {2}), nullptr);
+  EXPECT_EQ(find_node(g, prog, "G", {1}), nullptr);
+  EXPECT_NE(find_node(g, prog, "G", {2}), nullptr);
+  // D@(I=1,J=1,K=1) activates C@(I=1,J=1,K=2): the serial wrap edge.
+  const InstanceNode* d11 = find_node(g, prog, "D", {1, 1, 1});
+  ASSERT_NE(d11, nullptr);
+  bool wraps_to_c = false;
+  for (const u32 s : d11->activates) {
+    if (prog.loop(g.nodes[s].loop).name == "C" && g.nodes[s].ivec[3] == 2) {
+      wraps_to_c = true;
+    }
+  }
+  EXPECT_TRUE(wraps_to_c) << "Fig. 4: D's completion activates C in the "
+                             "next K iteration";
+}
+
+TEST(InstanceGraph, DotOutputNamesInstances) {
+  auto prog = make_fig1();
+  const auto g = build_instance_graph(prog);
+  const std::string dot = g.to_dot(prog.tables());
+  EXPECT_NE(dot.find("digraph instances"), std::string::npos);
+  EXPECT_NE(dot.find("start ->"), std::string::npos);
+  EXPECT_NE(dot.find("B\\n"), std::string::npos);
+}
+
+TEST(InstanceGraph, NodeLimitGuards) {
+  auto prog = workloads::nested_pair(100, 4, 1);
+  EXPECT_THROW(build_instance_graph(prog, 100, /*max_nodes=*/10),
+               std::logic_error);
+}
+
+TEST(InstanceGraph, CriticalPathBoundsMeasuredMakespan) {
+  // Brent: T_P >= max(T1/P, T_inf) (up to scheduling overhead, which only
+  // adds).  The vtime makespan must respect the bound from the DAG.
+  Fig1Params p;
+  p.ni = 4;
+  p.nj = 3;
+  p.body_cost = 400;
+  auto prog = make_fig1(p);
+  const auto g = build_instance_graph(prog, p.body_cost);
+  const double t1 = static_cast<double>(g.total_work());
+  for (u32 procs : {2u, 4u, 8u, 16u}) {
+    auto prog2 = make_fig1(p);
+    const auto r = runtime::run_vtime(prog2, procs);
+    const double lower =
+        std::max(t1 / procs, static_cast<double>(g.critical_path()));
+    EXPECT_GE(static_cast<double>(r.makespan), lower * 0.999)
+        << "P=" << procs;
+  }
+}
+
+TEST(InstanceGraph, RandomProgramsMatchSerialCounts) {
+  for (u64 seed = 300; seed < 320; ++seed) {
+    auto prog = workloads::random_program(seed);
+    const auto g = build_instance_graph(prog);
+    const auto s = baselines::run_sequential(prog, 100,
+                                             /*call_bodies=*/false);
+    EXPECT_EQ(g.nodes.size(), s.instances) << "seed=" << seed;
+    EXPECT_EQ(g.total_iterations(), s.iterations) << "seed=" << seed;
+    EXPECT_EQ(g.total_work(), s.total_body_cost) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace selfsched::program

@@ -1,0 +1,295 @@
+// Unit tests of the program front end: validation, the DEPTH/BOUND/DESCRPT
+// compiler (sequencing, serial wrap-around, guard chains), and the Fig. 1
+// tables.
+#include <gtest/gtest.h>
+
+#include "program/fig1.hpp"
+#include "program/normalize.hpp"
+#include "program/tables.hpp"
+
+namespace selfsched::program {
+namespace {
+
+LoopId id_of(const NestedLoopProgram& p, const std::string& name) {
+  for (u32 i = 0; i < p.num_loops(); ++i) {
+    if (p.loop(i).name == name) return i;
+  }
+  ADD_FAILURE() << "no loop named " << name;
+  return kNoLoop;
+}
+
+TEST(Validate, RejectsEmptyContainerLoop) {
+  NodeSeq top;
+  top.push_back(par(3, {}));
+  EXPECT_THROW(NestedLoopProgram{std::move(top)}, std::logic_error);
+}
+
+TEST(Validate, RejectsEmptyThenBranch) {
+  NodeSeq top;
+  top.push_back(if_then([](const IndexVec&) { return true; }, {}));
+  EXPECT_THROW(NestedLoopProgram{std::move(top)}, std::logic_error);
+}
+
+TEST(Validate, RejectsNegativeConstantBound) {
+  NodeSeq top;
+  top.push_back(doall("x", -1));
+  EXPECT_THROW(NestedLoopProgram{std::move(top)}, std::logic_error);
+}
+
+TEST(Validate, RejectsEmptyProgram) {
+  EXPECT_THROW(NestedLoopProgram{NodeSeq{}}, std::logic_error);
+}
+
+TEST(Validate, RejectsTooDeepNesting) {
+  NodePtr node = doall("deep", 1);
+  for (u32 d = 0; d < kMaxDepth + 1; ++d) {
+    node = par(1, seq(std::move(node)));
+  }
+  NodeSeq top;
+  top.push_back(std::move(node));
+  EXPECT_THROW(NestedLoopProgram{std::move(top)}, std::logic_error);
+}
+
+TEST(Validate, AssignsNamesToAnonymousLeaves) {
+  NodeSeq top;
+  top.push_back(doall("", 2));
+  top.push_back(doall("", 2));
+  NestedLoopProgram p(std::move(top));
+  EXPECT_EQ(p.loop(0).name, "L1");
+  EXPECT_EQ(p.loop(1).name, "L2");
+}
+
+TEST(Compile, FlatLoopGetsWrapperLevel) {
+  NodeSeq top;
+  top.push_back(doall("only", 7));
+  NestedLoopProgram p(std::move(top));
+  ASSERT_EQ(p.num_loops(), 1u);
+  const InnermostDesc& d = p.loop(0);
+  EXPECT_EQ(d.depth, 1u);  // just the implicit serial wrapper
+  EXPECT_EQ(d.bound.constant, 7);
+  const LevelDesc& row = d.at_level(1);
+  EXPECT_FALSE(row.parallel);
+  EXPECT_EQ(row.bound.constant, 1);
+  EXPECT_TRUE(row.last);
+  EXPECT_TRUE(row.guards.empty());
+}
+
+TEST(Compile, TopLevelSequenceChainsThroughWrapper) {
+  NodeSeq top;
+  top.push_back(doall("first", 2));
+  top.push_back(doall("second", 3));
+  NestedLoopProgram p(std::move(top));
+  ASSERT_EQ(p.num_loops(), 2u);
+  EXPECT_EQ(p.tables().entry, id_of(p, "first"));
+  const LevelDesc& first_row = p.loop(id_of(p, "first")).at_level(1);
+  EXPECT_FALSE(first_row.last);
+  EXPECT_EQ(first_row.next, id_of(p, "second"));
+  const LevelDesc& second_row = p.loop(id_of(p, "second")).at_level(1);
+  EXPECT_TRUE(second_row.last);
+}
+
+TEST(Compile, SerialLoopLastConstructWrapsToEntry) {
+  // ser K { C; D }: D.last at K's level, D.next == C (cyclic).
+  NodeSeq top;
+  top.push_back(ser(3, seq(doall("C", 2), doall("D", 2))));
+  NestedLoopProgram p(std::move(top));
+  const LoopId c = id_of(p, "C"), d = id_of(p, "D");
+  // Level 2 is the serial loop K (level 1 is the wrapper).
+  EXPECT_EQ(p.loop(c).depth, 2u);
+  const LevelDesc& c_row = p.loop(c).at_level(2);
+  EXPECT_FALSE(c_row.parallel);
+  EXPECT_FALSE(c_row.last);
+  EXPECT_EQ(c_row.next, d);
+  const LevelDesc& d_row = p.loop(d).at_level(2);
+  EXPECT_TRUE(d_row.last);
+  EXPECT_EQ(d_row.next, c) << "serial wrap-around edge";
+}
+
+TEST(Compile, ParallelLoopLastConstructHasNoNext) {
+  NodeSeq top;
+  top.push_back(par(3, seq(doall("A", 2), doall("B", 2))));
+  NestedLoopProgram p(std::move(top));
+  const LevelDesc& b_row = p.loop(id_of(p, "B")).at_level(2);
+  EXPECT_TRUE(b_row.parallel);
+  EXPECT_TRUE(b_row.last);
+  EXPECT_EQ(b_row.next, kNoLoop);
+}
+
+TEST(Compile, SimpleIfGuardsThenEntryOnly) {
+  // par I { IF c { T1; T2 } ELSE { E1 }; after }
+  auto cond = [](const IndexVec&) { return true; };
+  NodeSeq top;
+  top.push_back(par(
+      2, seq(if_then_else(cond, seq(doall("T1", 1), doall("T2", 1)),
+                          seq(doall("E1", 1))),
+             doall("after", 1))));
+  NestedLoopProgram p(std::move(top));
+  const LoopId t1 = id_of(p, "T1"), t2 = id_of(p, "T2"),
+               e1 = id_of(p, "E1"), after = id_of(p, "after");
+
+  // T1 is the IF entry: one guard whose altern is E1, resuming at 0; the
+  // IF's own successor (were its FALSE branch empty) is `after`.
+  const LevelDesc& t1_row = p.loop(t1).at_level(2);
+  ASSERT_EQ(t1_row.guards.size(), 1u);
+  EXPECT_EQ(t1_row.guards[0].altern, e1);
+  EXPECT_EQ(t1_row.guards[0].altern_start, 0u);
+  EXPECT_EQ(t1_row.guards[0].skip_next, after);
+  EXPECT_FALSE(t1_row.guards[0].skip_last);
+  // T2 is reached via T1's completion: no guard.
+  EXPECT_TRUE(p.loop(t2).at_level(2).guards.empty());
+  // E1 carries no guard either (entered only via the altern edge).
+  EXPECT_TRUE(p.loop(e1).at_level(2).guards.empty());
+  // Sequencing: T2 and E1 both continue to `after`.
+  EXPECT_EQ(p.loop(t2).at_level(2).next, after);
+  EXPECT_FALSE(p.loop(t2).at_level(2).last);
+  EXPECT_EQ(p.loop(e1).at_level(2).next, after);
+  EXPECT_FALSE(p.loop(e1).at_level(2).last);
+  // T1's next is its sibling T2 inside the branch.
+  EXPECT_EQ(p.loop(t1).at_level(2).next, t2);
+}
+
+TEST(Compile, NestedIfBuildsGuardChain) {
+  // IF c1 { IF c2 { A } ELSE { B } } ELSE { C }
+  auto c1 = [](const IndexVec&) { return true; };
+  auto c2 = [](const IndexVec&) { return false; };
+  NodeSeq top;
+  top.push_back(par(
+      2, seq(if_then_else(
+             c1, seq(if_then_else(c2, seq(doall("A", 1)),
+                                  seq(doall("B", 1)))),
+             seq(doall("C", 1))))));
+  NestedLoopProgram p(std::move(top));
+  const LoopId a = id_of(p, "A"), b = id_of(p, "B"), c = id_of(p, "C");
+
+  // A (entry through both IFs): chain [c1 -> altern C @0, c2 -> altern B @1].
+  const LevelDesc& a_row = p.loop(a).at_level(2);
+  ASSERT_EQ(a_row.guards.size(), 2u);
+  EXPECT_EQ(a_row.guards[0].altern, c);
+  EXPECT_EQ(a_row.guards[0].altern_start, 0u);
+  EXPECT_EQ(a_row.guards[1].altern, b);
+  EXPECT_EQ(a_row.guards[1].altern_start, 1u);
+  // B: inner FALSE branch — its chain shares the outer prefix [c1-guard];
+  // the altern edge from A resumes at index 1, past that prefix, so the
+  // shared guard is stored but never re-evaluated.
+  ASSERT_EQ(p.loop(b).at_level(2).guards.size(), 1u);
+  EXPECT_EQ(p.loop(b).at_level(2).guards[0].altern, c);
+  // C: outer FALSE branch — entered at guard index 0, no guards.
+  EXPECT_TRUE(p.loop(c).at_level(2).guards.empty());
+}
+
+TEST(Compile, InnerIfSkipStaysInsideOuterThen) {
+  // par I { IF c0 { IF c1 { A }; B }; C }: when c1 fails (empty FALSE),
+  // activation must proceed to B (inside the outer THEN), not to C.
+  auto cond = [](const IndexVec&) { return true; };
+  NodeSeq top;
+  top.push_back(
+      par(2, seq(if_then(cond, seq(if_then(cond, seq(doall("A", 1))),
+                                   doall("B", 1))),
+                 doall("C", 1))));
+  NestedLoopProgram p(std::move(top));
+  const LoopId b = id_of(p, "B"), c = id_of(p, "C");
+  const LevelDesc& a_row = p.loop(id_of(p, "A")).at_level(2);
+  ASSERT_EQ(a_row.guards.size(), 2u);
+  // Outer guard skips past the outer IF (to C); inner guard skips to B.
+  EXPECT_EQ(a_row.guards[0].skip_next, c);
+  EXPECT_FALSE(a_row.guards[0].skip_last);
+  EXPECT_EQ(a_row.guards[1].skip_next, b);
+  EXPECT_FALSE(a_row.guards[1].skip_last);
+}
+
+TEST(Compile, LastIfGuardInheritsTailSequencing) {
+  // ser K { A; IF c { B } }: the IF is K's last construct, so its skip
+  // wraps to A (the next serial iteration) with skip_last set.
+  auto cond = [](const IndexVec&) { return true; };
+  NodeSeq top;
+  top.push_back(
+      ser(3, seq(doall("A", 1), if_then(cond, seq(doall("B", 1))))));
+  NestedLoopProgram p(std::move(top));
+  const LevelDesc& b_row = p.loop(id_of(p, "B")).at_level(2);
+  ASSERT_EQ(b_row.guards.size(), 1u);
+  EXPECT_TRUE(b_row.guards[0].skip_last);
+  EXPECT_EQ(b_row.guards[0].skip_next, id_of(p, "A"));
+}
+
+TEST(Compile, GuardOnLoopSubtreeSitsAtOuterLevel) {
+  // par I { IF c { par J { A } } }: the guard on the J-subtree is evaluated
+  // at level 2 (inside I, before descending into J).
+  auto cond = [](const IndexVec&) { return true; };
+  NodeSeq top;
+  top.push_back(par(2, seq(if_then(cond, seq(par(3, seq(doall("A", 4))))))));
+  NestedLoopProgram p(std::move(top));
+  const InnermostDesc& a = p.loop(id_of(p, "A"));
+  EXPECT_EQ(a.depth, 3u);
+  EXPECT_EQ(a.at_level(2).guards.size(), 1u);  // the IF, at I's level
+  EXPECT_EQ(a.at_level(2).guards[0].altern, kNoLoop);  // empty FALSE branch
+  EXPECT_TRUE(a.at_level(3).guards.empty());
+  EXPECT_TRUE(a.at_level(3).parallel);
+  EXPECT_EQ(a.at_level(3).bound.constant, 3);
+}
+
+TEST(Compile, Fig1Tables) {
+  NestedLoopProgram p = program::make_fig1();
+  ASSERT_EQ(p.num_loops(), 8u);
+  const LoopId a = id_of(p, "A"), b = id_of(p, "B"), c = id_of(p, "C"),
+               d = id_of(p, "D"), e = id_of(p, "E"), f = id_of(p, "F"),
+               g = id_of(p, "G"), h = id_of(p, "H");
+  EXPECT_EQ(p.tables().entry, a);
+
+  // Depths: wrapper(1) + I(2); B,E under J(3); C,D under K(4).
+  EXPECT_EQ(p.loop(a).depth, 2u);
+  EXPECT_EQ(p.loop(b).depth, 3u);
+  EXPECT_EQ(p.loop(c).depth, 4u);
+  EXPECT_EQ(p.loop(d).depth, 4u);
+  EXPECT_EQ(p.loop(e).depth, 3u);
+  EXPECT_EQ(p.loop(f).depth, 2u);
+  EXPECT_EQ(p.loop(g).depth, 2u);
+  EXPECT_EQ(p.loop(h).depth, 2u);
+
+  // A's completion leads to the J-subtree, whose entry is B.
+  EXPECT_EQ(p.loop(a).at_level(2).next, b);
+  // C -> D within serial K; D wraps to C (next K iteration).
+  EXPECT_EQ(p.loop(c).at_level(4).next, d);
+  EXPECT_FALSE(p.loop(c).at_level(4).last);
+  EXPECT_EQ(p.loop(d).at_level(4).next, c);
+  EXPECT_TRUE(p.loop(d).at_level(4).last);
+  // B -> K-subtree entry (C) at J's level; K-subtree -> E.
+  EXPECT_EQ(p.loop(b).at_level(3).next, c);
+  EXPECT_EQ(p.loop(c).at_level(3).next, e);
+  EXPECT_EQ(p.loop(d).at_level(3).next, e);
+  // E is last in J; its completion (barrier) continues at I's level to the
+  // IF construct, whose entry is F guarded with altern G.
+  EXPECT_TRUE(p.loop(e).at_level(3).last);
+  EXPECT_EQ(p.loop(e).at_level(2).next, f);
+  ASSERT_EQ(p.loop(f).at_level(2).guards.size(), 1u);
+  EXPECT_EQ(p.loop(f).at_level(2).guards[0].altern, g);
+  // F and G both chain to H; H is last in I.
+  EXPECT_EQ(p.loop(f).at_level(2).next, h);
+  EXPECT_EQ(p.loop(g).at_level(2).next, h);
+  EXPECT_TRUE(p.loop(h).at_level(2).last);
+  // Parallel loops I and J have distinct uids; C and D share K's uid.
+  EXPECT_EQ(p.loop(c).at_level(4).loop_uid, p.loop(d).at_level(4).loop_uid);
+  EXPECT_NE(p.loop(b).at_level(3).loop_uid, p.loop(b).at_level(2).loop_uid);
+}
+
+TEST(Compile, DescribeAndDotAreNonEmpty) {
+  NestedLoopProgram p = program::make_fig1();
+  EXPECT_NE(p.describe().find("DEPTH"), std::string::npos);
+  EXPECT_NE(p.to_dot().find("digraph"), std::string::npos);
+  EXPECT_NE(p.to_dot().find("else@"), std::string::npos);
+}
+
+TEST(Compile, Fig1IterationCountClosedForm) {
+  Fig1Params params;
+  params.ni = 3;
+  params.nj = 2;
+  // Closed form must match the sequential interpreter (checked again in
+  // baselines tests); here just sanity-check oddness handling.
+  const i64 total = fig1_total_iterations(params);
+  const i64 per_j = params.nb + params.nk * (params.nc + params.nd) +
+                    params.ne;
+  EXPECT_EQ(total, 3 * (params.na + 2 * per_j + params.nh) + 2 * params.nf +
+                       1 * params.ng);
+}
+
+}  // namespace
+}  // namespace selfsched::program

@@ -1,0 +1,284 @@
+// Unit tests of the runtime building blocks in isolation, driven through a
+// single-processor real context: ICB pool recycling, BAR_COUNT semantics,
+// task-pool list surgery with SW invariants, and the dispatch strategies'
+// exact grab sequences.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "exec/real_context.hpp"
+#include "runtime/bar_count.hpp"
+#include "runtime/icb_pool.hpp"
+#include "runtime/strategy.hpp"
+#include "runtime/task_pool.hpp"
+
+namespace selfsched::runtime {
+namespace {
+
+using exec::RContext;
+
+IndexVec iv(std::initializer_list<i64> values) {
+  IndexVec v;
+  for (i64 x : values) v.push_back(x);
+  return v;
+}
+
+// ---------------------------------------------------------------- IcbPool --
+
+TEST(IcbPool, AcquireInitializesAndRecycles) {
+  RContext ctx(0, 1);
+  IcbPool<RContext> pool;
+  Icb<RContext>* a = pool.acquire(ctx);
+  a->init(3, 10, iv({1, 2}), /*needs_da_flags=*/false);
+  EXPECT_EQ(a->loop, 3u);
+  EXPECT_EQ(a->bound, 10);
+  EXPECT_EQ(a->index.load(), 1);
+  EXPECT_EQ(a->icount.load(), 0);
+  EXPECT_EQ(a->pcount.load(), 0);
+  Icb<RContext>* b = pool.acquire(ctx);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.allocated(), 2u);
+  pool.release(ctx, a);
+  Icb<RContext>* c = pool.acquire(ctx);
+  EXPECT_EQ(c, a) << "released block must be recycled";
+  EXPECT_EQ(pool.allocated(), 2u);
+}
+
+TEST(IcbPool, DoacrossFlagArrayIsZeroedOnReuse) {
+  RContext ctx(0, 1);
+  IcbPool<RContext> pool;
+  Icb<RContext>* a = pool.acquire(ctx);
+  a->init(0, 5, iv({}), /*needs_da_flags=*/true);
+  a->da_flags[3].store(1);
+  pool.release(ctx, a);
+  Icb<RContext>* b = pool.acquire(ctx);
+  ASSERT_EQ(a, b);
+  b->init(0, 4, iv({}), /*needs_da_flags=*/true);  // smaller: reuses array
+  for (i64 j = 0; j <= 4; ++j) EXPECT_EQ(b->da_flags[j].load(), 0);
+}
+
+// ------------------------------------------------------------- BarCount --
+
+TEST(BarCount, TripsExactlyAtBound) {
+  RContext ctx(0, 1);
+  BarCountTable<RContext> bars(16);
+  const IndexVec prefix = iv({1, 4});
+  EXPECT_FALSE(bars.increment_and_check(ctx, 7, 2, prefix, 3));
+  EXPECT_FALSE(bars.increment_and_check(ctx, 7, 2, prefix, 3));
+  EXPECT_TRUE(bars.increment_and_check(ctx, 7, 2, prefix, 3));
+  EXPECT_EQ(bars.live_counters(), 0u) << "tripped counter must be reclaimed";
+}
+
+TEST(BarCount, DistinguishesInstancesAndLoops) {
+  RContext ctx(0, 1);
+  BarCountTable<RContext> bars(16);
+  // Same uid, different prefixes: independent counters.
+  EXPECT_FALSE(bars.increment_and_check(ctx, 1, 1, iv({1}), 2));
+  EXPECT_FALSE(bars.increment_and_check(ctx, 1, 1, iv({2}), 2));
+  // Different uid, same prefix: independent counters.
+  EXPECT_FALSE(bars.increment_and_check(ctx, 2, 1, iv({1}), 2));
+  EXPECT_EQ(bars.live_counters(), 3u);
+  EXPECT_TRUE(bars.increment_and_check(ctx, 1, 1, iv({1}), 2));
+  EXPECT_TRUE(bars.increment_and_check(ctx, 1, 1, iv({2}), 2));
+  EXPECT_TRUE(bars.increment_and_check(ctx, 2, 1, iv({1}), 2));
+  EXPECT_EQ(bars.live_counters(), 0u);
+}
+
+TEST(BarCount, BoundOneTripsImmediately) {
+  RContext ctx(0, 1);
+  BarCountTable<RContext> bars(4);
+  EXPECT_TRUE(bars.increment_and_check(ctx, 9, 0, iv({}), 1));
+  EXPECT_EQ(bars.live_counters(), 0u);
+}
+
+TEST(BarCount, ReusedKeyAfterTripStartsFresh) {
+  RContext ctx(0, 1);
+  BarCountTable<RContext> bars(4);
+  EXPECT_FALSE(bars.increment_and_check(ctx, 3, 1, iv({5}), 2));
+  EXPECT_TRUE(bars.increment_and_check(ctx, 3, 1, iv({5}), 2));
+  // A later instance may legitimately reuse the same (uid, prefix) key
+  // (e.g. the same loop re-entered in a new serial iteration of an outer
+  // loop is keyed by a longer prefix, but semantically a fresh barrier
+  // starts at zero).
+  EXPECT_FALSE(bars.increment_and_check(ctx, 3, 1, iv({5}), 2));
+  EXPECT_TRUE(bars.increment_and_check(ctx, 3, 1, iv({5}), 2));
+}
+
+TEST(BarCount, ManyKeysCollideSafely) {
+  RContext ctx(0, 1);
+  BarCountTable<RContext> bars(2);  // tiny: forces chains
+  for (i64 k = 1; k <= 100; ++k) {
+    EXPECT_FALSE(bars.increment_and_check(ctx, 1, 1, iv({k}), 2));
+  }
+  EXPECT_EQ(bars.live_counters(), 100u);
+  for (i64 k = 1; k <= 100; ++k) {
+    EXPECT_TRUE(bars.increment_and_check(ctx, 1, 1, iv({k}), 2));
+  }
+  EXPECT_EQ(bars.live_counters(), 0u);
+}
+
+// ------------------------------------------------------------- TaskPool --
+
+TEST(TaskPool, AppendSetsSwAndLinks) {
+  RContext ctx(0, 1);
+  TaskPool<RContext> pool(4);
+  IcbPool<RContext> icbs;
+  EXPECT_EQ(pool.sw().leading_one(ctx), CtxControlWord<RContext>::kEmpty);
+
+  Icb<RContext>* a = icbs.acquire(ctx);
+  a->init(2, 3, iv({}), false);
+  pool.append(ctx, 2, a);
+  EXPECT_EQ(pool.sw().leading_one(ctx), 2u);
+  EXPECT_EQ(pool.list_head(2), a);
+
+  Icb<RContext>* b = icbs.acquire(ctx);
+  b->init(2, 3, iv({}), false);
+  pool.append(ctx, 2, b);
+  EXPECT_EQ(pool.list_head(2), a);
+  EXPECT_EQ(a->right, b);
+  EXPECT_EQ(b->left, a);
+  EXPECT_EQ(b->right, nullptr);
+}
+
+TEST(TaskPool, DeleteMiddleHeadTail) {
+  RContext ctx(0, 1);
+  TaskPool<RContext> pool(1);
+  IcbPool<RContext> icbs;
+  Icb<RContext>* n[3];
+  for (auto& p : n) {
+    p = icbs.acquire(ctx);
+    p->init(0, 1, iv({}), false);
+    pool.append(ctx, 0, p);
+  }
+  // Delete middle.
+  pool.delete_icb(ctx, 0, n[1]);
+  EXPECT_EQ(pool.list_head(0), n[0]);
+  EXPECT_EQ(n[0]->right, n[2]);
+  EXPECT_EQ(n[2]->left, n[0]);
+  EXPECT_EQ(pool.sw().leading_one(ctx), 0u);
+  // Delete head.
+  pool.delete_icb(ctx, 0, n[0]);
+  EXPECT_EQ(pool.list_head(0), n[2]);
+  EXPECT_EQ(n[2]->left, nullptr);
+  EXPECT_EQ(pool.sw().leading_one(ctx), 0u);
+  // Delete tail == last element: SW must clear.
+  pool.delete_icb(ctx, 0, n[2]);
+  EXPECT_EQ(pool.list_head(0), nullptr);
+  EXPECT_EQ(pool.sw().leading_one(ctx),
+            CtxControlWord<RContext>::kEmpty);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(TaskPool, ManyListsIndependent) {
+  RContext ctx(0, 1);
+  TaskPool<RContext> pool(130);  // multi-word SW
+  IcbPool<RContext> icbs;
+  Icb<RContext>* a = icbs.acquire(ctx);
+  a->init(129, 1, iv({}), false);
+  pool.append(ctx, 129, a);
+  EXPECT_EQ(pool.sw().leading_one(ctx), 129u);
+  Icb<RContext>* b = icbs.acquire(ctx);
+  b->init(5, 1, iv({}), false);
+  pool.append(ctx, 5, b);
+  EXPECT_EQ(pool.sw().leading_one(ctx), 5u);
+  pool.delete_icb(ctx, 5, b);
+  EXPECT_EQ(pool.sw().leading_one(ctx), 129u);
+}
+
+// ------------------------------------------------------------ Strategies --
+
+/// Drain an ICB of bound `b` with strategy `s`, returning the grab sizes in
+/// dispatch order and checking coverage invariants.
+std::vector<i64> drain(i64 b, const Strategy& s, u32 procs = 4) {
+  RContext ctx(0, procs);
+  Icb<RContext> icb;
+  icb.init(0, b, IndexVec{}, false);
+  std::vector<i64> sizes;
+  std::set<i64> covered;
+  bool saw_last = false;
+  for (;;) {
+    const Dispatch d = dispatch_iterations(ctx, icb, s);
+    if (d.count == 0) break;
+    EXPECT_FALSE(saw_last) << "grab after last_scheduled";
+    sizes.push_back(d.count);
+    for (i64 j = d.first; j < d.first + d.count; ++j) {
+      EXPECT_TRUE(covered.insert(j).second) << "iteration " << j
+                                            << " dispatched twice";
+      EXPECT_GE(j, 1);
+      EXPECT_LE(j, b);
+    }
+    saw_last = d.last_scheduled;
+  }
+  EXPECT_TRUE(saw_last || b == 0);
+  EXPECT_EQ(static_cast<i64>(covered.size()), b) << "incomplete coverage";
+  return sizes;
+}
+
+TEST(Strategy, SelfGrabsOneAtATime) {
+  const auto sizes = drain(7, Strategy::self());
+  EXPECT_EQ(sizes, (std::vector<i64>{1, 1, 1, 1, 1, 1, 1}));
+}
+
+TEST(Strategy, ChunkGrabsFixedBlocks) {
+  const auto sizes = drain(10, Strategy::chunked(4));
+  EXPECT_EQ(sizes, (std::vector<i64>{4, 4, 2}));
+}
+
+TEST(Strategy, ChunkLargerThanBound) {
+  const auto sizes = drain(3, Strategy::chunked(100));
+  EXPECT_EQ(sizes, (std::vector<i64>{3}));
+}
+
+TEST(Strategy, GssGuidedDecrease) {
+  // P=4, b=100: ceil(100/4)=25, ceil(75/4)=19, ceil(56/4)=14, ...
+  const auto sizes = drain(100, Strategy::gss(), 4);
+  EXPECT_EQ(sizes.front(), 25);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LE(sizes[i], sizes[i - 1]) << "GSS chunks must not grow";
+  }
+  EXPECT_EQ(sizes.back(), 1);
+}
+
+TEST(Strategy, GssRespectsMinimumChunk) {
+  const auto sizes = drain(100, Strategy::gss(8), 4);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    EXPECT_GE(sizes[i], 8);
+  }
+}
+
+TEST(Strategy, FactoringHalvesGssChunks) {
+  const auto gss_sizes = drain(256, Strategy::gss(), 4);
+  const auto fac_sizes = drain(256, Strategy::factoring(), 4);
+  EXPECT_EQ(fac_sizes.front(), 32);  // ceil(256 / (2*4))
+  EXPECT_LT(fac_sizes.front(), gss_sizes.front());
+}
+
+TEST(Strategy, TrapezoidDecreasesLinearly) {
+  const auto sizes = drain(128, Strategy::trapezoid(16, 2), 4);
+  EXPECT_EQ(sizes.front(), 16);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LE(sizes[i], sizes[i - 1]);
+  }
+  EXPECT_GE(sizes.back(), 1);
+}
+
+TEST(Strategy, ExhaustedIcbYieldsZero) {
+  RContext ctx(0, 2);
+  Icb<RContext> icb;
+  icb.init(0, 1, IndexVec{}, false);
+  const Dispatch first = dispatch_iterations(ctx, icb, Strategy::self());
+  EXPECT_EQ(first.count, 1);
+  EXPECT_TRUE(first.last_scheduled);
+  const Dispatch second = dispatch_iterations(ctx, icb, Strategy::self());
+  EXPECT_EQ(second.count, 0);
+}
+
+TEST(Strategy, Names) {
+  EXPECT_STREQ(Strategy::self().name(), "self(1)");
+  EXPECT_STREQ(Strategy::gss().name(), "gss");
+  EXPECT_STREQ(Strategy::chunked(5).name(), "chunk");
+}
+
+}  // namespace
+}  // namespace selfsched::runtime

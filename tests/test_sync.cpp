@@ -1,0 +1,291 @@
+// Unit tests of the synchronization substrate: the Cedar test-and-op
+// vocabulary, SyncVar atomicity, the control word with leading-one
+// detection, the paper's lock and semaphore, backoff, and the barrier.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sync/backoff.hpp"
+#include "sync/barrier.hpp"
+#include "sync/control_word.hpp"
+#include "sync/semaphore.hpp"
+#include "sync/spin_lock.hpp"
+#include "sync/sync_var.hpp"
+
+namespace selfsched::sync {
+namespace {
+
+// ------------------------------------------------------------- semantics --
+
+TEST(TestOp, TestRelations) {
+  EXPECT_TRUE(test_holds(sync::Test::kNone, 5, -100));
+  EXPECT_TRUE(test_holds(sync::Test::kGT, 5, 4));
+  EXPECT_FALSE(test_holds(sync::Test::kGT, 5, 5));
+  EXPECT_TRUE(test_holds(sync::Test::kGE, 5, 5));
+  EXPECT_FALSE(test_holds(sync::Test::kGE, 4, 5));
+  EXPECT_TRUE(test_holds(sync::Test::kLT, 4, 5));
+  EXPECT_FALSE(test_holds(sync::Test::kLT, 5, 5));
+  EXPECT_TRUE(test_holds(sync::Test::kLE, 5, 5));
+  EXPECT_FALSE(test_holds(sync::Test::kLE, 6, 5));
+  EXPECT_TRUE(test_holds(sync::Test::kEQ, 5, 5));
+  EXPECT_FALSE(test_holds(sync::Test::kEQ, 5, 6));
+  EXPECT_TRUE(test_holds(sync::Test::kNE, 5, 6));
+  EXPECT_FALSE(test_holds(sync::Test::kNE, 5, 5));
+}
+
+TEST(TestOp, OpSemantics) {
+  EXPECT_EQ(apply_op(sync::Op::kFetch, 7, 99), 7);
+  EXPECT_EQ(apply_op(sync::Op::kStore, 7, 99), 99);
+  EXPECT_EQ(apply_op(sync::Op::kIncrement, 7, 99), 8);
+  EXPECT_EQ(apply_op(sync::Op::kDecrement, 7, 99), 6);
+  EXPECT_EQ(apply_op(sync::Op::kFetchAdd, 7, -3), 4);
+  EXPECT_EQ(apply_op(sync::Op::kFetchOr, 0b0101, 0b0011), 0b0111);
+  EXPECT_EQ(apply_op(sync::Op::kFetchAnd, 0b0101, 0b0011), 0b0001);
+}
+
+TEST(TestOp, Names) {
+  EXPECT_STREQ(test_name(sync::Test::kGE), ">=");
+  EXPECT_STREQ(op_name(sync::Op::kFetchAdd), "Fetch&Add");
+}
+
+// ---------------------------------------------------------------- SyncVar --
+
+struct TryOpCase {
+  Test test;
+  i64 test_value;
+  Op op;
+  i64 operand;
+  i64 initial;
+  bool want_success;
+  i64 want_fetched;
+  i64 want_after;
+};
+
+class SyncVarTruthTable : public ::testing::TestWithParam<TryOpCase> {};
+
+TEST_P(SyncVarTruthTable, TryOp) {
+  const TryOpCase& c = GetParam();
+  SyncVar v(c.initial);
+  const SyncResult r = v.try_op(c.test, c.test_value, c.op, c.operand);
+  EXPECT_EQ(r.success, c.want_success);
+  if (c.want_success) {
+    EXPECT_EQ(r.fetched, c.want_fetched);
+  }
+  EXPECT_EQ(v.load(), c.want_after);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SyncVarTruthTable,
+    ::testing::Values(
+        // The paper's example: {A < 100; Fetch(a)&add(3)}.
+        TryOpCase{sync::Test::kLT, 100, sync::Op::kFetchAdd, 3, 42, true, 42, 45},
+        TryOpCase{sync::Test::kLT, 100, sync::Op::kFetchAdd, 3, 100, false, 0, 100},
+        // P operation: {S > 0; Decrement}.
+        TryOpCase{sync::Test::kGT, 0, sync::Op::kDecrement, 0, 1, true, 1, 0},
+        TryOpCase{sync::Test::kGT, 0, sync::Op::kDecrement, 0, 0, false, 0, 0},
+        // V operation: null test.
+        TryOpCase{sync::Test::kNone, 0, sync::Op::kIncrement, 0, 0, true, 0, 1},
+        // Lock acquire: {L == 1; Decrement}.
+        TryOpCase{sync::Test::kEQ, 1, sync::Op::kDecrement, 0, 1, true, 1, 0},
+        TryOpCase{sync::Test::kEQ, 1, sync::Op::kDecrement, 0, 0, false, 0, 0},
+        // CAS via equality: {x == 7; Fetch&Add(5)}.
+        TryOpCase{sync::Test::kEQ, 7, sync::Op::kFetchAdd, 5, 7, true, 7, 12},
+        TryOpCase{sync::Test::kEQ, 7, sync::Op::kFetchAdd, 5, 8, false, 0, 8},
+        // Store with test.
+        TryOpCase{sync::Test::kNE, 3, sync::Op::kStore, 9, 4, true, 4, 9},
+        TryOpCase{sync::Test::kNE, 3, sync::Op::kStore, 9, 3, false, 0, 3},
+        // Pure fetch with failing test leaves value alone.
+        TryOpCase{sync::Test::kGE, 10, sync::Op::kFetch, 0, 9, false, 0, 9},
+        TryOpCase{sync::Test::kGE, 10, sync::Op::kFetch, 0, 10, true, 10, 10},
+        // Bitwise extensions.
+        TryOpCase{sync::Test::kNone, 0, sync::Op::kFetchOr, 0b100, 0b001, true, 0b001,
+                  0b101},
+        TryOpCase{sync::Test::kNone, 0, sync::Op::kFetchAnd, 0b110, 0b011, true, 0b011,
+                  0b010}));
+
+TEST(SyncVar, ContendedFetchAddSumsExactly) {
+  SyncVar v(0);
+  constexpr int kThreads = 4;
+  constexpr i64 kPer = 20000;
+  std::vector<std::thread> team;
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&v] {
+      for (i64 i = 0; i < kPer; ++i) {
+        v.try_op(sync::Test::kNone, 0, sync::Op::kFetchAdd, 1);
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+  EXPECT_EQ(v.load(), kThreads * kPer);
+}
+
+TEST(SyncVar, BoundedFetchAddNeverOvershoots) {
+  // The paper's "start:" instruction: {index <= b; Fetch&Increment}.
+  // Under contention, exactly b successes must occur.
+  constexpr i64 kBound = 10000;
+  SyncVar index(1);
+  std::atomic<i64> successes{0};
+  std::vector<std::thread> team;
+  for (int t = 0; t < 4; ++t) {
+    team.emplace_back([&] {
+      for (;;) {
+        const SyncResult r =
+            index.try_op(sync::Test::kLE, kBound, sync::Op::kIncrement);
+        if (!r.success) return;
+        successes.fetch_add(1);
+        EXPECT_GE(r.fetched, 1);
+        EXPECT_LE(r.fetched, kBound);
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+  EXPECT_EQ(successes.load(), kBound);
+  EXPECT_EQ(index.load(), kBound + 1);
+}
+
+TEST(SyncVar, IsCacheLineSized) {
+  EXPECT_EQ(sizeof(SyncVar), kCacheLine);
+}
+
+// ------------------------------------------------------------ ControlWord --
+
+TEST(ControlWord, SetResetTest) {
+  ControlWord sw(8);
+  EXPECT_EQ(sw.popcount(), 0u);
+  sw.set(3);
+  sw.set(5);
+  EXPECT_TRUE(sw.test(3));
+  EXPECT_TRUE(sw.test(5));
+  EXPECT_FALSE(sw.test(4));
+  EXPECT_EQ(sw.popcount(), 2u);
+  sw.reset(3);
+  EXPECT_FALSE(sw.test(3));
+  EXPECT_EQ(sw.popcount(), 1u);
+}
+
+TEST(ControlWord, LeadingOneFindsLowestSetBit) {
+  ControlWord sw(64);
+  EXPECT_EQ(sw.leading_one(), ControlWord::kEmpty);
+  sw.set(42);
+  sw.set(17);
+  EXPECT_EQ(sw.leading_one(), 17u);
+  sw.reset(17);
+  EXPECT_EQ(sw.leading_one(), 42u);
+}
+
+TEST(ControlWord, MultiWordScan) {
+  ControlWord sw(200);
+  sw.set(199);
+  EXPECT_EQ(sw.leading_one(), 199u);
+  sw.set(64);
+  EXPECT_EQ(sw.leading_one(), 64u);
+  sw.set(63);
+  EXPECT_EQ(sw.leading_one(), 63u);
+}
+
+TEST(ControlWord, RotatedOriginWrapsAround) {
+  ControlWord sw(128);
+  sw.set(10);
+  // Starting the scan above the only set bit must still find it.
+  EXPECT_EQ(sw.leading_one(100), 10u);
+  sw.set(100);
+  EXPECT_EQ(sw.leading_one(100), 100u);
+  EXPECT_EQ(sw.leading_one(101), 10u);
+}
+
+TEST(ControlWord, OutOfRangeStartIsNormalized) {
+  ControlWord sw(16);
+  sw.set(7);
+  EXPECT_EQ(sw.leading_one(9999), 7u);
+}
+
+// --------------------------------------------------------- Lock/Semaphore --
+
+TEST(SpinLock, MutualExclusionUnderContention) {
+  SpinLock lock;
+  i64 counter = 0;  // unprotected except by `lock`
+  constexpr int kThreads = 4;
+  constexpr i64 kPer = 20000;
+  std::vector<std::thread> team;
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&] {
+      for (i64 i = 0; i < kPer; ++i) {
+        SpinLockGuard g(lock);
+        counter += 1;
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+  EXPECT_EQ(counter, kThreads * kPer);
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST(SpinLock, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_TRUE(lock.is_locked());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Semaphore, CountingSemantics) {
+  Semaphore s(2);
+  EXPECT_TRUE(s.try_p());
+  EXPECT_TRUE(s.try_p());
+  EXPECT_FALSE(s.try_p());
+  s.v();
+  EXPECT_TRUE(s.try_p());
+  EXPECT_EQ(s.value(), 0);
+}
+
+TEST(Semaphore, ProducerConsumer) {
+  Semaphore items(0);
+  i64 consumed = 0;
+  std::thread consumer([&] {
+    for (int i = 0; i < 1000; ++i) {
+      items.p();
+      ++consumed;
+    }
+  });
+  for (int i = 0; i < 1000; ++i) items.v();
+  consumer.join();
+  EXPECT_EQ(consumed, 1000);
+  EXPECT_EQ(items.value(), 0);
+}
+
+// ----------------------------------------------------------------- misc --
+
+TEST(Backoff, DoublesAndCaps) {
+  Backoff b(2, 16);
+  EXPECT_EQ(b.next(), 2);
+  EXPECT_EQ(b.next(), 4);
+  EXPECT_EQ(b.next(), 8);
+  EXPECT_EQ(b.next(), 16);
+  EXPECT_EQ(b.next(), 16);
+  b.reset();
+  EXPECT_EQ(b.next(), 2);
+}
+
+TEST(SpinBarrier, RendezvousRepeats) {
+  constexpr u32 kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_count[3] = {{0}, {0}, {0}};
+  std::vector<std::thread> team;
+  for (u32 t = 0; t < kThreads; ++t) {
+    team.emplace_back([&] {
+      for (int phase = 0; phase < 3; ++phase) {
+        phase_count[phase].fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, every thread must see the full count.
+        EXPECT_EQ(phase_count[phase].load(), static_cast<int>(kThreads));
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+}
+
+}  // namespace
+}  // namespace selfsched::sync

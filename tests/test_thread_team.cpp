@@ -1,0 +1,69 @@
+// Tests of the persistent worker team and the run_threads_on entry point.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "exec/thread_team.hpp"
+#include "runtime/scheduler.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/programs.hpp"
+
+namespace selfsched {
+namespace {
+
+TEST(ThreadTeam, RunsEveryIdExactlyOncePerRound) {
+  exec::ThreadTeam team(4);
+  for (int round = 0; round < 50; ++round) {
+    std::array<std::atomic<int>, 4> hits{};
+    team.run([&](ProcId id) { hits[id].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "round " << round;
+  }
+}
+
+TEST(ThreadTeam, SingleProcTeamIsCallerOnly) {
+  exec::ThreadTeam team(1);
+  std::set<ProcId> seen;
+  team.run([&](ProcId id) { seen.insert(id); });
+  EXPECT_EQ(seen, std::set<ProcId>{0});
+}
+
+TEST(ThreadTeam, SchedulerRunsReuseTheTeam) {
+  exec::ThreadTeam team(3);
+  for (int round = 0; round < 10; ++round) {
+    auto prog = workloads::flat_doall(
+        500, [](const IndexVec&, i64) -> Cycles { return 20; });
+    runtime::SchedOptions opts;
+    opts.measure_phases = false;
+    const auto r = runtime::run_threads_on(team, prog, opts);
+    ASSERT_EQ(r.total.iterations, 500u) << "round " << round;
+    ASSERT_EQ(r.procs, 3u);
+  }
+}
+
+TEST(ThreadTeam, KernelCorrectOnTeam) {
+  exec::ThreadTeam team(4);
+  workloads::DaxpyKernel kernel(10000);
+  auto prog = kernel.make_program();
+  runtime::SchedOptions opts;
+  opts.strategy = runtime::Strategy::gss();
+  const auto r = runtime::run_threads_on(team, prog, opts);
+  EXPECT_EQ(r.total.iterations, 10000u);
+  EXPECT_EQ(kernel.verify(), 0);
+}
+
+TEST(ThreadTeam, SequentialWorkloadsSeeFreshState) {
+  // Two different programs back to back on one team must not leak state.
+  exec::ThreadTeam team(2);
+  workloads::RecurrenceKernel k1(2000);
+  auto p1 = k1.make_program();
+  runtime::run_threads_on(team, p1);
+  EXPECT_LT(k1.verify(), 1e-12);
+  workloads::StencilKernel k2(256, 3);
+  auto p2 = k2.make_program();
+  runtime::run_threads_on(team, p2);
+  EXPECT_EQ(k2.verify(), 0.0);
+}
+
+}  // namespace
+}  // namespace selfsched

@@ -1,0 +1,173 @@
+// Tests of the workload generators: cost-model determinism and shape, the
+// program factories' structure, and the kernels' serial verification.
+#include <gtest/gtest.h>
+
+#include "baselines/sequential.hpp"
+#include "common/rng.hpp"
+#include "workloads/iteration_cost.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/programs.hpp"
+
+namespace selfsched::workloads {
+namespace {
+
+TEST(CostModels, ConstantIsConstant) {
+  auto f = constant_cost(42);
+  IndexVec iv;
+  EXPECT_EQ(f(iv, 1), 42);
+  EXPECT_EQ(f(iv, 999), 42);
+}
+
+TEST(CostModels, UniformStaysInRangeAndIsDeterministic) {
+  auto f = uniform_cost(7, 10, 20);
+  auto g = uniform_cost(7, 10, 20);
+  IndexVec iv;
+  bool saw_different = false;
+  Cycles first = f(iv, 1);
+  for (i64 j = 1; j <= 1000; ++j) {
+    const Cycles c = f(iv, j);
+    EXPECT_GE(c, 10);
+    EXPECT_LE(c, 20);
+    EXPECT_EQ(c, g(iv, j)) << "same seed must give same costs";
+    if (c != first) saw_different = true;
+  }
+  EXPECT_TRUE(saw_different);
+}
+
+TEST(CostModels, UniformDependsOnIvec) {
+  auto f = uniform_cost(7, 0, 1000000);
+  IndexVec a;
+  a.push_back(1);
+  IndexVec b;
+  b.push_back(2);
+  int diffs = 0;
+  for (i64 j = 1; j <= 50; ++j) {
+    if (f(a, j) != f(b, j)) ++diffs;
+  }
+  EXPECT_GT(diffs, 40);
+}
+
+TEST(CostModels, BimodalFrequencies) {
+  auto f = bimodal_cost(3, 1, 1000, 100);  // 10% heavy
+  IndexVec iv;
+  int heavy = 0;
+  for (i64 j = 1; j <= 10000; ++j) {
+    if (f(iv, j) == 1000) ++heavy;
+  }
+  EXPECT_NEAR(heavy, 1000, 150);
+}
+
+TEST(CostModels, DecreasingAndIncreasingShapes) {
+  auto dec = decreasing_cost(100, 5, 2);
+  auto inc = increasing_cost(5, 2);
+  IndexVec iv;
+  EXPECT_EQ(dec(iv, 1), 5 + 2 * 99);
+  EXPECT_EQ(dec(iv, 100), 5);
+  EXPECT_EQ(inc(iv, 1), 5);
+  EXPECT_EQ(inc(iv, 100), 5 + 2 * 99);
+}
+
+TEST(CostModels, MeanCost) {
+  EXPECT_DOUBLE_EQ(mean_cost(constant_cost(10), 7), 10.0);
+  EXPECT_NEAR(mean_cost(uniform_cost(1, 0, 100), 20000), 50.0, 2.0);
+}
+
+TEST(Rng, LemireBelowIsUnbiasedEnough) {
+  Xoshiro256ss rng(42);
+  std::array<int, 10> buckets{};
+  for (int i = 0; i < 100000; ++i) {
+    buckets[rng.below(10)] += 1;
+  }
+  for (int b : buckets) EXPECT_NEAR(b, 10000, 500);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Xoshiro256ss rng(1);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const i64 x = rng.range(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    lo |= (x == -2);
+    hi |= (x == 2);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Factories, CoalescedMatchesNestedIterationCount) {
+  const auto nested = baselines::run_sequential(nested_pair(6, 7, 1));
+  const auto flat = baselines::run_sequential(coalesced_pair(6, 7, 1));
+  EXPECT_EQ(nested.iterations, 42u);
+  EXPECT_EQ(flat.iterations, 42u);
+  EXPECT_EQ(nested.total_body_cost, flat.total_body_cost);
+}
+
+TEST(Factories, BranchyAlternates) {
+  const auto s = baselines::run_sequential(branchy(4, 1, 100));
+  // I=1,3 heavy (8 iters @100), I=2,4 light (8 iters @1).
+  EXPECT_EQ(s.iterations, 32u);
+  EXPECT_EQ(s.total_body_cost, 2 * 8 * 100 + 2 * 8 * 1);
+}
+
+TEST(Factories, DeepAlternatingCounts) {
+  const auto s = baselines::run_sequential(deep_alternating(3, 2, 1));
+  // Three containers of width 2 around a leaf of width 2: 2^4 iterations.
+  EXPECT_EQ(s.iterations, 16u);
+}
+
+TEST(Factories, DoacrossChainShape) {
+  auto prog = doacross_chain(10, 2, 0.5, 100);
+  ASSERT_EQ(prog.num_loops(), 1u);
+  ASSERT_TRUE(prog.loop(0).doacross.has_value());
+  EXPECT_EQ(prog.loop(0).doacross->distance, 2);
+}
+
+TEST(RandomPrograms, SameSeedSameStructure) {
+  auto a = random_program(77);
+  auto b = random_program(77);
+  EXPECT_EQ(a.describe(), b.describe());
+  const auto sa = baselines::run_sequential(a);
+  const auto sb = baselines::run_sequential(b);
+  EXPECT_EQ(sa.iterations, sb.iterations);
+  EXPECT_EQ(sa.total_body_cost, sb.total_body_cost);
+}
+
+TEST(RandomPrograms, DifferentSeedsDiffer) {
+  int distinct = 0;
+  std::string prev;
+  for (u64 seed = 1; seed <= 10; ++seed) {
+    const std::string desc = random_program(seed).describe();
+    if (desc != prev) ++distinct;
+    prev = desc;
+  }
+  EXPECT_GT(distinct, 5);
+}
+
+TEST(Kernels, SerialBaselinesVerify) {
+  // Each kernel's program, run through the *sequential* interpreter, must
+  // produce the verified answer (sanity of the kernels themselves).
+  {
+    DaxpyKernel k(100);
+    baselines::run_sequential(k.make_program());
+    EXPECT_EQ(k.verify(), 0);
+  }
+  {
+    StencilKernel k(64, 3);
+    baselines::run_sequential(k.make_program());
+    EXPECT_EQ(k.verify(), 0.0);
+  }
+  {
+    AdjointConvolutionKernel k(50);
+    baselines::run_sequential(k.make_program());
+    EXPECT_LT(k.verify(), 1e-12);
+  }
+  {
+    RecurrenceKernel k(100);
+    baselines::run_sequential(k.make_program());
+    EXPECT_LT(k.verify(), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace selfsched::workloads

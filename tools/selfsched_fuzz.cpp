@@ -1,0 +1,106 @@
+// selfsched-fuzz: differential fuzzing of the two-level scheduler.
+//
+//   selfsched-fuzz [--seeds LO:HI] [--engine vtime|threads|both]
+//                  [--max-procs P] [--depth D] [--quiet]
+//
+// For each seed, generates a random general parallel nested loop, derives a
+// processor count and strategy from the seed, runs it serially and under
+// the scheduler, and compares iteration multisets and bookkeeping
+// invariants (runtime/verify.hpp).  Exit status 0 iff every seed passes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runtime/verify.hpp"
+#include "workloads/programs.hpp"
+
+using namespace selfsched;
+
+int main(int argc, char** argv) {
+  u64 lo = 1, hi = 200;
+  std::string engine = "vtime";
+  u32 max_procs = 9;
+  u32 depth = 4;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      const std::string v = next();
+      const auto colon = v.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--seeds expects LO:HI\n");
+        return 2;
+      }
+      lo = std::strtoull(v.c_str(), nullptr, 10);
+      hi = std::strtoull(v.c_str() + colon + 1, nullptr, 10);
+    } else if (arg == "--engine") {
+      engine = next();
+    } else if (arg == "--max-procs") {
+      max_procs = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--depth") {
+      depth = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  workloads::RandomProgramConfig cfg;
+  cfg.max_depth = depth;
+
+  u64 failures = 0, runs = 0;
+  for (u64 seed = lo; seed <= hi; ++seed) {
+    runtime::SchedOptions opts;
+    switch (seed % 5) {
+      case 0: opts.strategy = runtime::Strategy::self(); break;
+      case 1:
+        opts.strategy =
+            runtime::Strategy::chunked(static_cast<i64>(seed % 7) + 2);
+        break;
+      case 2: opts.strategy = runtime::Strategy::gss(); break;
+      case 3: opts.strategy = runtime::Strategy::factoring(); break;
+      default: opts.strategy = runtime::Strategy::trapezoid(); break;
+    }
+    opts.pool_shards = 1 + static_cast<u32>(seed % 3);
+    if (seed % 7 == 0) opts.central_queue = true;
+    const u32 procs = 1 + static_cast<u32>(seed % max_procs);
+
+    auto builder = [&](const program::BodyFactory& bodies) {
+      return workloads::random_program(seed, cfg, bodies);
+    };
+    for (const auto kind : {runtime::EngineKind::kVtime,
+                            runtime::EngineKind::kThreads}) {
+      if (kind == runtime::EngineKind::kVtime && engine == "threads") continue;
+      if (kind == runtime::EngineKind::kThreads && engine == "vtime") continue;
+      ++runs;
+      const auto r = runtime::differential_check(builder, procs, kind, opts);
+      if (!r.ok) {
+        ++failures;
+        std::printf("FAIL seed=%llu procs=%u strategy=%s engine=%s\n%s",
+                    static_cast<unsigned long long>(seed), procs,
+                    opts.strategy.name(),
+                    kind == runtime::EngineKind::kVtime ? "vtime" : "threads",
+                    r.detail.c_str());
+      } else if (!quiet) {
+        std::printf("ok seed=%llu procs=%u iters=%llu\n",
+                    static_cast<unsigned long long>(seed), procs,
+                    static_cast<unsigned long long>(r.parallel_iterations));
+      }
+    }
+  }
+  std::printf("%llu runs, %llu failures\n",
+              static_cast<unsigned long long>(runs),
+              static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
+}

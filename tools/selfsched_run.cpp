@@ -1,0 +1,248 @@
+// selfsched-run: command-line driver for the two-level self-scheduler.
+//
+//   selfsched-run [options] <program.loop>
+//   selfsched-run --help
+//
+// Reads a loop nest in the mini-language (src/lang/parser.hpp), compiles it
+// to the paper's DEPTH/BOUND/DESCRPT tables, and executes it on the chosen
+// engine, printing the utilization/overhead report.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baselines/sequential.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "program/instance_graph.hpp"
+#include "runtime/report.hpp"
+#include "runtime/scheduler.hpp"
+
+using namespace selfsched;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options] <program.loop>\n"
+      "\n"
+      "engine and machine:\n"
+      "  --engine vtime|threads   execution engine (default vtime)\n"
+      "  --procs N                processors (default 8)\n"
+      "  --costs cedar|cheap|expensive\n"
+      "                           vtime cost model (default cedar)\n"
+      "\n"
+      "scheduling:\n"
+      "  --strategy self|chunk:K|gss|factoring|trapezoid\n"
+      "                           low-level Doall dispatch (default self)\n"
+      "  --central-queue          single-list task pool (ablation)\n"
+      "  --shards S               shards per loop list (default 1)\n"
+      "\n"
+      "program:\n"
+      "  --param NAME=VALUE       bind a named constant (repeatable)\n"
+      "\n"
+      "output:\n"
+      "  --tables                 print the compiled DEPTH/BOUND/DESCRPT\n"
+      "  --dot                    print the loop activation graph (GraphViz)\n"
+      "  --instances              print the instance-level macro-dataflow\n"
+      "                           graph (Fig. 4) and its T1/Tinf analysis\n"
+      "  --emit                   reprint the parsed program (canonical\n"
+      "                           mini-language source)\n"
+      "  --gantt [WIDTH]          print the processor timeline (vtime)\n"
+      "  --timeline-csv FILE      write the phase timeline as CSV (vtime)\n"
+      "  --summary-csv FILE       append the run metrics as a CSV row\n"
+      "  --serial                 also run the serial oracle and report\n"
+      "                           speedup against it\n",
+      argv0);
+}
+
+bool parse_strategy(const std::string& s, runtime::Strategy* out) {
+  if (s == "self") {
+    *out = runtime::Strategy::self();
+  } else if (s.rfind("chunk:", 0) == 0) {
+    const long k = std::strtol(s.c_str() + 6, nullptr, 10);
+    if (k < 1) return false;
+    *out = runtime::Strategy::chunked(k);
+  } else if (s == "gss") {
+    *out = runtime::Strategy::gss();
+  } else if (s == "factoring") {
+    *out = runtime::Strategy::factoring();
+  } else if (s == "trapezoid") {
+    *out = runtime::Strategy::trapezoid();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string engine = "vtime";
+  std::string path;
+  u32 procs = 8;
+  bool show_tables = false, show_dot = false, run_serial = false;
+  bool show_instances = false, emit_source = false;
+  std::string timeline_csv, summary_csv;
+  bool gantt = false;
+  u32 gantt_width = 100;
+  runtime::SchedOptions opts;
+  lang::ParseOptions popts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--engine") {
+      engine = next();
+    } else if (arg == "--procs") {
+      procs = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--costs") {
+      const std::string c = next();
+      if (c == "cedar") {
+        opts.costs = vtime::CostModel::cedar();
+      } else if (c == "cheap") {
+        opts.costs = vtime::CostModel::cheap_sync();
+      } else if (c == "expensive") {
+        opts.costs = vtime::CostModel::expensive_sync();
+      } else {
+        std::fprintf(stderr, "unknown cost model '%s'\n", c.c_str());
+        return 2;
+      }
+    } else if (arg == "--strategy") {
+      if (!parse_strategy(next(), &opts.strategy)) {
+        std::fprintf(stderr, "bad --strategy value\n");
+        return 2;
+      }
+    } else if (arg == "--central-queue") {
+      opts.central_queue = true;
+    } else if (arg == "--shards") {
+      opts.pool_shards = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--param") {
+      const std::string kv = next();
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--param expects NAME=VALUE\n");
+        return 2;
+      }
+      popts.params[kv.substr(0, eq)] =
+          std::strtoll(kv.c_str() + eq + 1, nullptr, 10);
+    } else if (arg == "--tables") {
+      show_tables = true;
+    } else if (arg == "--dot") {
+      show_dot = true;
+    } else if (arg == "--instances") {
+      show_instances = true;
+    } else if (arg == "--emit") {
+      emit_source = true;
+    } else if (arg == "--timeline-csv") {
+      timeline_csv = next();
+    } else if (arg == "--summary-csv") {
+      summary_csv = next();
+    } else if (arg == "--gantt") {
+      gantt = true;
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(
+                              argv[i + 1][0]))) {
+        gantt_width = static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
+      }
+    } else if (arg == "--serial") {
+      run_serial = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty() || procs < 1) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  try {
+    if (emit_source) {
+      auto ast = lang::parse_to_ast(buf.str(), popts);
+      std::printf("%s", lang::to_source(ast).c_str());
+      return 0;
+    }
+    auto prog = lang::parse_program(buf.str(), popts);
+    if (show_tables) std::printf("%s\n", prog.describe().c_str());
+    if (show_dot) std::printf("%s\n", prog.to_dot().c_str());
+    if (show_instances) {
+      const auto g = program::build_instance_graph(prog,
+                                                   opts.default_body_cost);
+      std::printf("%s", g.to_dot(prog.tables()).c_str());
+      std::printf("! instances=%zu T1=%lld Tinf=%lld usable parallelism "
+                  "T1/Tinf=%.1f\n",
+                  g.nodes.size(), static_cast<long long>(g.total_work()),
+                  static_cast<long long>(g.critical_path()),
+                  static_cast<double>(g.total_work()) /
+                      static_cast<double>(g.critical_path()));
+    }
+
+    double serial_cycles = 0;
+    if (run_serial) {
+      const auto s = baselines::run_sequential(prog, opts.default_body_cost,
+                                               /*call_bodies=*/false);
+      serial_cycles = static_cast<double>(s.total_body_cost);
+      std::printf("serial: %llu instances, %llu iterations, body=%lld "
+                  "cycles\n",
+                  static_cast<unsigned long long>(s.instances),
+                  static_cast<unsigned long long>(s.iterations),
+                  static_cast<long long>(s.total_body_cost));
+    }
+
+    opts.phase_timeline = gantt || !timeline_csv.empty();
+    runtime::RunResult r;
+    if (engine == "vtime") {
+      r = runtime::run_vtime(prog, procs, opts);
+    } else if (engine == "threads") {
+      r = runtime::run_threads(prog, procs, opts);
+    } else {
+      std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+      return 2;
+    }
+    std::printf("%s", r.summary().c_str());
+    if (run_serial && r.makespan > 0 && engine == "vtime") {
+      std::printf("speedup vs serial body time: %.2f\n",
+                  serial_cycles / static_cast<double>(r.makespan));
+    }
+    if (gantt) std::printf("%s", runtime::render_gantt(r, gantt_width).c_str());
+    if (!timeline_csv.empty()) {
+      std::ofstream csv(timeline_csv);
+      runtime::write_timeline_csv(r, csv);
+      std::printf("timeline written to %s\n", timeline_csv.c_str());
+    }
+    if (!summary_csv.empty()) {
+      const bool fresh = !std::ifstream(summary_csv).good();
+      std::ofstream csv(summary_csv, std::ios::app);
+      if (fresh) runtime::write_summary_csv_header(csv);
+      runtime::write_summary_csv_row(path + "/" + engine, r, csv);
+      std::printf("summary appended to %s\n", summary_csv.c_str());
+    }
+  } catch (const lang::ParseError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
