@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_doacross.dir/bench_doacross.cpp.o"
+  "CMakeFiles/bench_doacross.dir/bench_doacross.cpp.o.d"
+  "bench_doacross"
+  "bench_doacross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_doacross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

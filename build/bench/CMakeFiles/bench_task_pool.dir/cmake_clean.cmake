@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_task_pool.dir/bench_task_pool.cpp.o"
+  "CMakeFiles/bench_task_pool.dir/bench_task_pool.cpp.o.d"
+  "bench_task_pool"
+  "bench_task_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_task_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

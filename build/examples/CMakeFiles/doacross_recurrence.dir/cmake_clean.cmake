@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doacross_recurrence.dir/doacross_recurrence.cpp.o"
+  "CMakeFiles/doacross_recurrence.dir/doacross_recurrence.cpp.o.d"
+  "doacross_recurrence"
+  "doacross_recurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doacross_recurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

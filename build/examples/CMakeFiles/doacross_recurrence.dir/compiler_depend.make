@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for doacross_recurrence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for doacross_recurrence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minilang.dir/minilang.cpp.o"
+  "CMakeFiles/minilang.dir/minilang.cpp.o.d"
+  "minilang"
+  "minilang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minilang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

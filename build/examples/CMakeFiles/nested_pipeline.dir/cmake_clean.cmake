@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_pipeline.dir/nested_pipeline.cpp.o"
+  "CMakeFiles/nested_pipeline.dir/nested_pipeline.cpp.o.d"
+  "nested_pipeline"
+  "nested_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

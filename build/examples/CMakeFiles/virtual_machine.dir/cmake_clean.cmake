@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_machine.dir/virtual_machine.cpp.o"
+  "CMakeFiles/virtual_machine.dir/virtual_machine.cpp.o.d"
+  "virtual_machine"
+  "virtual_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/model.cpp" "src/CMakeFiles/selfsched.dir/analysis/model.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/analysis/model.cpp.o.d"
+  "/root/repo/src/baselines/sequential.cpp" "src/CMakeFiles/selfsched.dir/baselines/sequential.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/baselines/sequential.cpp.o.d"
+  "/root/repo/src/baselines/static_sched.cpp" "src/CMakeFiles/selfsched.dir/baselines/static_sched.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/baselines/static_sched.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/selfsched.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/common/rng.cpp.o.d"
+  "/root/repo/src/exec/context.cpp" "src/CMakeFiles/selfsched.dir/exec/context.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/exec/context.cpp.o.d"
+  "/root/repo/src/lang/expr.cpp" "src/CMakeFiles/selfsched.dir/lang/expr.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/lang/expr.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/selfsched.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/selfsched.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/printer.cpp" "src/CMakeFiles/selfsched.dir/lang/printer.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/lang/printer.cpp.o.d"
+  "/root/repo/src/program/ast.cpp" "src/CMakeFiles/selfsched.dir/program/ast.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/program/ast.cpp.o.d"
+  "/root/repo/src/program/fig1.cpp" "src/CMakeFiles/selfsched.dir/program/fig1.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/program/fig1.cpp.o.d"
+  "/root/repo/src/program/graphviz.cpp" "src/CMakeFiles/selfsched.dir/program/graphviz.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/program/graphviz.cpp.o.d"
+  "/root/repo/src/program/instance_graph.cpp" "src/CMakeFiles/selfsched.dir/program/instance_graph.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/program/instance_graph.cpp.o.d"
+  "/root/repo/src/program/normalize.cpp" "src/CMakeFiles/selfsched.dir/program/normalize.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/program/normalize.cpp.o.d"
+  "/root/repo/src/program/tables.cpp" "src/CMakeFiles/selfsched.dir/program/tables.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/program/tables.cpp.o.d"
+  "/root/repo/src/runtime/report.cpp" "src/CMakeFiles/selfsched.dir/runtime/report.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/runtime/report.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/selfsched.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/stats.cpp" "src/CMakeFiles/selfsched.dir/runtime/stats.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/runtime/stats.cpp.o.d"
+  "/root/repo/src/runtime/verify.cpp" "src/CMakeFiles/selfsched.dir/runtime/verify.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/runtime/verify.cpp.o.d"
+  "/root/repo/src/sync/control_word.cpp" "src/CMakeFiles/selfsched.dir/sync/control_word.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/sync/control_word.cpp.o.d"
+  "/root/repo/src/sync/test_op.cpp" "src/CMakeFiles/selfsched.dir/sync/test_op.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/sync/test_op.cpp.o.d"
+  "/root/repo/src/vtime/costs.cpp" "src/CMakeFiles/selfsched.dir/vtime/costs.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/vtime/costs.cpp.o.d"
+  "/root/repo/src/vtime/engine.cpp" "src/CMakeFiles/selfsched.dir/vtime/engine.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/vtime/engine.cpp.o.d"
+  "/root/repo/src/workloads/iteration_cost.cpp" "src/CMakeFiles/selfsched.dir/workloads/iteration_cost.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/workloads/iteration_cost.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/CMakeFiles/selfsched.dir/workloads/kernels.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/workloads/kernels.cpp.o.d"
+  "/root/repo/src/workloads/programs.cpp" "src/CMakeFiles/selfsched.dir/workloads/programs.cpp.o" "gcc" "src/CMakeFiles/selfsched.dir/workloads/programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

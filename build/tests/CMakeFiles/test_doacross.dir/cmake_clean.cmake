@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doacross.dir/test_doacross.cpp.o"
+  "CMakeFiles/test_doacross.dir/test_doacross.cpp.o.d"
+  "test_doacross"
+  "test_doacross.pdb"
+  "test_doacross[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doacross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_threads.dir/test_scheduler_threads.cpp.o"
+  "CMakeFiles/test_scheduler_threads.dir/test_scheduler_threads.cpp.o.d"
+  "test_scheduler_threads"
+  "test_scheduler_threads.pdb"
+  "test_scheduler_threads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_vtime.dir/test_scheduler_vtime.cpp.o"
+  "CMakeFiles/test_scheduler_vtime.dir/test_scheduler_vtime.cpp.o.d"
+  "test_scheduler_vtime"
+  "test_scheduler_vtime.pdb"
+  "test_scheduler_vtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_vtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfsched-fuzz.dir/selfsched_fuzz.cpp.o"
+  "CMakeFiles/selfsched-fuzz.dir/selfsched_fuzz.cpp.o.d"
+  "selfsched-fuzz"
+  "selfsched-fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfsched-fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfsched-run.dir/selfsched_run.cpp.o"
+  "CMakeFiles/selfsched-run.dir/selfsched_run.cpp.o.d"
+  "selfsched-run"
+  "selfsched-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfsched-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
