@@ -1,0 +1,181 @@
+// E11: cost of the tracing subsystem (src/trace) on the threaded engine.
+//
+// Three configurations of the same self(1) flat-Doall run:
+//
+//   bare   worker_loop instantiated over BareContext, a context type with
+//          no trace accessors — the TraceableContext concept fails and every
+//          hook compiles to nothing.  This is byte-for-byte what a
+//          SELFSCHED_TRACE=0 build produces, measurable inside a normal
+//          build (compiling this TU with the macro off would ODR-collide
+//          with the library's instantiations).
+//   off    RContext with a sink installed but events disabled: counters are
+//          bumped, event rings untouched — the shipping default.
+//   on     events recorded into the per-worker rings as well.
+//
+// The claim to check: bare == no measurable overhead by construction, and
+// off stays within a few percent of bare even on a dispatch-bound loop.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "exec/real_context.hpp"
+#include "runtime/high_level.hpp"
+#include "runtime/worker.hpp"
+#include "sync/barrier.hpp"
+#include "trace/recorder.hpp"
+#include "workloads/programs.hpp"
+
+namespace selfsched {
+namespace {
+
+/// RContext minus the trace accessors.  Composition, not inheritance, so no
+/// trace_sink()/trace_now() leak through and TraceableContext<BareContext>
+/// is false — the hooks in worker_loop/search/dispatch vanish.
+class BareContext {
+ public:
+  using Sync = sync::SyncVar;
+  static constexpr bool kIsSimulated = false;
+
+  BareContext(ProcId proc, u32 num_procs) : inner_(proc, num_procs, false) {}
+
+  ProcId proc() const { return inner_.proc(); }
+  u32 num_procs() const { return inner_.num_procs(); }
+  sync::SyncResult sync_op(Sync& v, sync::Test t, i64 test_value, sync::Op op,
+                           i64 operand = 0) {
+    return inner_.sync_op(v, t, test_value, op, operand);
+  }
+  void work(Cycles c) { inner_.work(c); }
+  void pause(Cycles c) { inner_.pause(c); }
+  exec::Phase set_phase(exec::Phase p) { return inner_.set_phase(p); }
+  exec::WorkerStats& stats() { return inner_.stats(); }
+
+ private:
+  exec::RContext inner_;
+};
+
+static_assert(exec::ExecutionContext<BareContext>);
+static_assert(!trace::TraceableContext<BareContext>);
+static_assert(trace::TraceableContext<exec::RContext>);
+
+constexpr i64 kIters = 200000;
+constexpr Cycles kBodyWork = 32;  // near-empty body => dispatch-bound
+constexpr int kReps = 7;
+
+program::NestedLoopProgram make_workload() {
+  return workloads::flat_doall(
+      kIters, [](const IndexVec&, i64) -> Cycles { return kBodyWork; });
+}
+
+/// One run of worker_loop on `procs` threads; wall ns.  `make(id)` builds
+/// the per-worker context (prvalue — contexts are pinned, elision only);
+/// `setup(ctx, id)` installs trace sinks (or nothing, for bare).
+template <typename MakeCtx, typename Setup>
+double run_once(const program::NestedLoopProgram& prog, u32 procs,
+                const runtime::SchedOptions& opts, MakeCtx make,
+                Setup setup) {
+  using Ctx = decltype(make(ProcId{0}));
+  runtime::SchedState<Ctx> st(prog.tables(), opts);
+  sync::SpinBarrier start_line(procs);
+  Stopwatch watch;
+
+  auto body = [&](ProcId id) {
+    auto ctx = make(id);
+    setup(ctx, id);
+    start_line.arrive_and_wait();
+    if (id == 0) {
+      watch.reset();
+      runtime::seed_program(ctx, st);
+    }
+    runtime::worker_loop(ctx, st);
+  };
+  std::vector<std::thread> team;
+  team.reserve(procs);
+  for (u32 id = 1; id < procs; ++id) team.emplace_back(body, id);
+  body(0);
+  for (std::thread& t : team) t.join();
+  return static_cast<double>(watch.elapsed_ns());
+}
+
+template <typename MakeCtx, typename Setup>
+double median_ns(const program::NestedLoopProgram& prog, u32 procs,
+                 const runtime::SchedOptions& opts, MakeCtx make,
+                 Setup setup) {
+  std::vector<double> ns;
+  ns.reserve(kReps);
+  for (int r = 0; r < kReps; ++r) {
+    ns.push_back(run_once(prog, procs, opts, make, setup));
+  }
+  std::sort(ns.begin(), ns.end());
+  return ns[ns.size() / 2];
+}
+
+}  // namespace
+}  // namespace selfsched
+
+int main() {
+  using namespace selfsched;
+  const u32 hw = std::thread::hardware_concurrency();
+  const u32 procs = hw ? std::min(4u, hw) : 4u;
+  runtime::SchedOptions opts;
+  opts.strategy = runtime::Strategy::self();
+  opts.measure_phases = false;
+  const auto prog = make_workload();
+
+  bench::banner(
+      "E11: trace subsystem overhead (threads engine, self(1), "
+      "dispatch-bound)",
+      "compiled-out tracing is free; runtime-disabled tracing stays within "
+      "a few percent");
+  std::printf("procs=%u iters=%lld body_work=%lld reps=%d (median)\n", procs,
+              static_cast<long long>(kIters),
+              static_cast<long long>(kBodyWork), kReps);
+
+  const auto make_bare = [procs](ProcId id) {
+    return BareContext(id, procs);
+  };
+  // measure_phases=false: phase timing reads the clock per transition and
+  // would swamp the nanoseconds this bench is after.
+  const auto make_real = [procs](ProcId id) {
+    return exec::RContext(id, procs, /*measure_phases=*/false);
+  };
+  const auto no_setup = [](BareContext&, ProcId) {};
+
+  // Warm-up (page in code + scheduler state allocators).
+  (void)run_once(prog, procs, opts, make_bare, no_setup);
+
+  const double bare = median_ns(prog, procs, opts, make_bare, no_setup);
+
+  trace::Recorder rec_off(procs, /*events_on=*/false, opts.trace_ring_capacity);
+  const double off = median_ns(
+      prog, procs, opts, make_real, [&](exec::RContext& ctx, ProcId id) {
+        ctx.set_trace_sink(&rec_off.sink(id), rec_off.epoch());
+      });
+
+  trace::Recorder rec_on(procs, /*events_on=*/true, opts.trace_ring_capacity);
+  const double on = median_ns(
+      prog, procs, opts, make_real, [&](exec::RContext& ctx, ProcId id) {
+        ctx.set_trace_sink(&rec_on.sink(id), rec_on.epoch());
+      });
+
+  bench::Table t({"config", "median_ms", "ns_per_iter", "vs_bare"});
+  const auto row = [&](const char* name, double ns) {
+    t.row({name, bench::fmt(ns / 1e6, 2),
+           bench::fmt(ns / static_cast<double>(kIters), 1),
+           bench::fmt(ns / bare, 3)});
+  };
+  row("bare (hooks compiled out)", bare);
+  row("sink installed, events off", off);
+  row("events on", on);
+  t.print();
+
+  std::printf("\ncounters folded (events-on run): dispatches=%llu\n",
+              static_cast<unsigned long long>(
+                  rec_on.fold_counters().dispatches));
+  std::printf("events recorded: %zu, dropped: %llu\n",
+              rec_on.harvest_events().size(),
+              static_cast<unsigned long long>(rec_on.events_dropped()));
+  return 0;
+}

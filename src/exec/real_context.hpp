@@ -12,6 +12,7 @@
 #include "common/types.hpp"
 #include "exec/context.hpp"
 #include "sync/sync_var.hpp"
+#include "trace/recorder.hpp"
 
 namespace selfsched::exec {
 
@@ -77,6 +78,20 @@ class RContext {
 
   WorkerStats& stats() { return stats_; }
 
+  /// Install this worker's trace sink; `epoch` is the team-wide timestamp
+  /// origin (trace_now() = nanoseconds since it).
+  void set_trace_sink(trace::WorkerSink* sink,
+                      std::chrono::steady_clock::time_point epoch) {
+    trace_sink_ = sink;
+    trace_epoch_ = epoch;
+  }
+  trace::WorkerSink* trace_sink() const { return trace_sink_; }
+  Cycles trace_now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - trace_epoch_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -86,6 +101,8 @@ class RContext {
   Phase phase_ = Phase::kOther;
   Clock::time_point mark_;
   WorkerStats stats_;
+  trace::WorkerSink* trace_sink_ = nullptr;
+  Clock::time_point trace_epoch_{};
   u64 sink_ = 0;
 };
 

@@ -12,6 +12,7 @@
 #include "exec/context.hpp"
 #include "sync/backoff.hpp"
 #include "sync/test_op.hpp"
+#include "trace/recorder.hpp"
 
 namespace selfsched::runtime {
 
@@ -23,13 +24,17 @@ template <exec::ExecutionContext C>
 void ctx_lock(C& ctx, typename C::Sync& l) {
   sync::Backoff backoff;
   while (!ctx.sync_op(l, Test::kEQ, 1, Op::kDecrement).success) {
+    trace::bump(ctx, &trace::Counters::backoff_iterations);
     ctx.pause(backoff.next());
   }
+  trace::bump(ctx, &trace::Counters::lock_acquisitions);
 }
 
 template <exec::ExecutionContext C>
 bool ctx_try_lock(C& ctx, typename C::Sync& l) {
-  return ctx.sync_op(l, Test::kEQ, 1, Op::kDecrement).success;
+  const bool acquired = ctx.sync_op(l, Test::kEQ, 1, Op::kDecrement).success;
+  if (acquired) trace::bump(ctx, &trace::Counters::lock_acquisitions);
+  return acquired;
 }
 
 /// Paper lock release: {L; Increment}.
@@ -75,6 +80,7 @@ class CtxControlWord {
 
   /// First set bit, or kEmpty.  Each word inspected costs one Fetch.
   u32 leading_one(C& ctx) {
+    trace::bump(ctx, &trace::Counters::sw_scans);
     for (u32 w = 0; w < num_words_; ++w) {
       const u64 bits = static_cast<u64>(
           ctx.sync_op(words_[w], Test::kNone, 0, Op::kFetch).fetched);

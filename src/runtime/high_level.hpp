@@ -16,6 +16,7 @@
 #include "runtime/icb_pool.hpp"
 #include "runtime/options.hpp"
 #include "runtime/task_pool.hpp"
+#include "trace/recorder.hpp"
 
 namespace selfsched::runtime {
 
@@ -234,6 +235,7 @@ void enter(C& ctx, SchedState<C>& st, LoopId cur, Level level,
         level = lev;
         continue;
       }
+      const Cycles te = trace::event_begin(ctx);
       charge_cost<C>(ctx, &vtime::CostModel::icb_alloc);
       if constexpr (C::kIsSimulated) {
         ctx.charge(ctx.costs().ivec_copy_per_level *
@@ -245,6 +247,8 @@ void enter(C& ctx, SchedState<C>& st, LoopId cur, Level level,
       ctx.sync_op(st.outstanding, Test::kNone, 0, Op::kIncrement);
       st.pool.append(ctx, icb->pool_list, icb);
       ctx.stats().enters++;
+      trace::event_end(ctx, te, trace::EventKind::kEnter, cur,
+                       trace::ivec_hash(ivec, d->depth), 1, b);
       return;
     }
 
@@ -289,12 +293,19 @@ void enter(C& ctx, SchedState<C>& st, LoopId cur, Level level,
 template <exec::ExecutionContext C>
 bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
   exec::PhaseScope<C> phase(ctx, exec::Phase::kSearch);
+  const Cycles ts = trace::event_begin(ctx);
+  i64 walked = 0;  // list nodes examined, reported in the kSearch event
   sync::Backoff backoff(1, st.opts.idle_backoff_max);
   for (;;) {
-    if (ctx.sync_op(st.done, Test::kNE, 0, Op::kFetch).success) return false;
+    if (ctx.sync_op(st.done, Test::kNE, 0, Op::kFetch).success) {
+      trace::event_end(ctx, ts, trace::EventKind::kSearch, kNoLoop, 0, -1,
+                       walked);
+      return false;
+    }
     const u32 i = st.pool.sw().leading_one(ctx);
     if (i == CtxControlWord<C>::kEmpty) {
       exec::PhaseScope<C> idle(ctx, exec::Phase::kPoolIdle);
+      trace::bump(ctx, &trace::Counters::backoff_iterations);
       ctx.pause(backoff.next());
       continue;
     }
@@ -311,6 +322,7 @@ bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
     while (ip != nullptr) {
       charge_cost<C>(ctx, &vtime::CostModel::list_step);
       ctx.stats().search_steps++;
+      ++walked;
       // Attach only if the instance still *needs* processors: unscheduled
       // iterations remain AND fewer processors than iterations are on it.
       // The index pre-test matters for liveness, not just efficiency: a
@@ -342,6 +354,10 @@ bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
     ctx_unlock(ctx, st.pool.list_lock(i));
     if (attached) {
       ctx.stats().searches++;
+      trace::event_end(ctx, ts, trace::EventKind::kSearch, cursor.i,
+                       trace::ivec_hash(cursor.ivec,
+                                        st.prog->loops[cursor.i].depth),
+                       static_cast<i64>(i), walked);
       return true;
     }
     // Every listed instance already has as many processors as iterations:
@@ -350,6 +366,7 @@ bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
     // APPEND/DELETE operations.
     {
       exec::PhaseScope<C> idle(ctx, exec::Phase::kPoolIdle);
+      trace::bump(ctx, &trace::Counters::backoff_iterations);
       ctx.pause(backoff.next());
     }
   }

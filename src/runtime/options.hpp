@@ -40,6 +40,17 @@ struct SchedOptions {
   /// switch); disable for throughput benches.
   bool measure_phases = true;
 
+  /// Both engines: record a per-event scheduler trace (dispatched chunks,
+  /// SEARCHes, EXIT/ENTER activations, Doacross stalls, teardowns) into
+  /// per-worker ring buffers, folded into RunResult::trace_events.  The
+  /// metric counters (RunResult::counters) are collected regardless.
+  /// Compile-time kill switch: build with -DSELFSCHED_TRACE=0.
+  bool trace_events = false;
+
+  /// Per-worker event-ring capacity (rounded up to a power of two); on
+  /// overflow the ring wraps, keeping the newest events.
+  u32 trace_ring_capacity = 1u << 14;
+
   /// BAR_COUNT hash-table buckets.
   u32 bar_buckets = 256;
 

@@ -1,5 +1,7 @@
 #include "runtime/report.hpp"
 
+#include <cstdio>
+
 namespace selfsched::runtime {
 
 void write_timeline_csv(const RunResult& r, std::ostream& os) {
@@ -30,6 +32,57 @@ void write_summary_csv_row(const std::string& label, const RunResult& r,
      << r.total.search_steps << ',' << r.total.enters << ','
      << r.total.exits << ',' << r.total.icbs_released << ',' << r.engine_ops
      << '\n';
+}
+
+namespace {
+
+/// JSON-safe number: finite doubles with fixed precision (JSON has no NaN).
+std::string jnum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_json_report(const RunResult& r, std::ostream& os) {
+  os << "{\n";
+  os << "  \"procs\": " << r.procs << ",\n";
+  os << "  \"makespan\": " << r.makespan << ",\n";
+  os << "  \"iterations\": " << r.total.iterations << ",\n";
+  os << "  \"utilization\": " << jnum(r.utilization()) << ",\n";
+  os << "  \"speedup\": " << jnum(r.speedup()) << ",\n";
+  os << "  \"tau\": " << jnum(r.tau()) << ",\n";
+  os << "  \"o1_per_iter\": " << jnum(r.o1_per_iteration()) << ",\n";
+  os << "  \"o2_per_iter\": " << jnum(r.o2_per_iteration()) << ",\n";
+  os << "  \"o3_per_iter\": " << jnum(r.o3_per_iteration()) << ",\n";
+  os << "  \"phases\": {";
+  for (std::size_t p = 0; p < exec::kNumPhases; ++p) {
+    os << (p == 0 ? "" : ", ") << '"'
+       << exec::phase_name(static_cast<exec::Phase>(p)) << "\": "
+       << r.total.phase_cycles[p];
+  }
+  os << "},\n";
+  os << "  \"ops\": {\"sync\": " << r.total.sync_ops
+     << ", \"failed_sync\": " << r.total.failed_sync_ops
+     << ", \"dispatches\": " << r.total.dispatches
+     << ", \"searches\": " << r.total.searches
+     << ", \"search_steps\": " << r.total.search_steps
+     << ", \"enters\": " << r.total.enters
+     << ", \"exits\": " << r.total.exits
+     << ", \"icbs_released\": " << r.total.icbs_released
+     << ", \"engine_ops\": " << r.engine_ops << "},\n";
+  os << "  \"counters\": {";
+  bool first = true;
+  trace::Counters::for_each_field(
+      [&](const char* name, u64 trace::Counters::* m) {
+        os << (first ? "" : ", ") << '"' << name << "\": " << r.counters.*m;
+        first = false;
+      });
+  os << "},\n";
+  os << "  \"trace_events\": " << r.trace_events.size() << ",\n";
+  os << "  \"trace_events_dropped\": " << r.trace_events_dropped << "\n";
+  os << "}\n";
 }
 
 }  // namespace selfsched::runtime

@@ -19,4 +19,9 @@ void write_summary_csv_header(std::ostream& os);
 void write_summary_csv_row(const std::string& label, const RunResult& r,
                            std::ostream& os);
 
+/// The whole run report as one JSON object — procs, makespan, utilization,
+/// speedup, tau, O1/O2/O3, per-phase totals, op counts, metric counters —
+/// for scripting bench trajectories (selfsched-run --json).
+void write_json_report(const RunResult& r, std::ostream& os);
+
 }  // namespace selfsched::runtime

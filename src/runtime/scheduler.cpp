@@ -9,21 +9,34 @@
 #include "runtime/high_level.hpp"
 #include "runtime/worker.hpp"
 #include "sync/barrier.hpp"
+#include "trace/recorder.hpp"
 #include "vtime/context.hpp"
 #include "vtime/engine.hpp"
 
 namespace selfsched::runtime {
 
+namespace {
+
+void harvest_trace(const trace::Recorder& rec, RunResult& r) {
+  r.counters = rec.fold_counters();
+  r.trace_events = rec.harvest_events();
+  r.trace_events_dropped = rec.events_dropped();
+}
+
+}  // namespace
+
 RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
                     const SchedOptions& opts) {
   SchedState<vtime::VContext> st(prog.tables(), opts);
   vtime::Engine engine(procs, opts.trace);
+  trace::Recorder rec(procs, opts.trace_events, opts.trace_ring_capacity);
   std::vector<exec::WorkerStats> stats(procs);
   std::vector<std::vector<exec::PhaseInterval>> timeline(
       opts.phase_timeline ? procs : 0);
 
   const Cycles makespan = engine.run([&](ProcId id) {
     vtime::VContext ctx(engine, id, opts.costs, opts.phase_timeline);
+    ctx.set_trace_sink(&rec.sink(id));
     if (id == 0) seed_program(ctx, st);
     worker_loop(ctx, st);
     ctx.finish_timeline();
@@ -38,6 +51,7 @@ RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
   r.workers = std::move(stats);
   r.engine_ops = engine.total_ops();
   r.timeline = std::move(timeline);
+  harvest_trace(rec, r);
   finalize(r);
   return r;
 }
@@ -52,12 +66,14 @@ RunResult run_threads_impl(const program::NestedLoopProgram& prog, u32 procs,
                            const SchedOptions& opts, Dispatch&& dispatch) {
   SS_CHECK(procs >= 1);
   SchedState<exec::RContext> st(prog.tables(), opts);
+  trace::Recorder rec(procs, opts.trace_events, opts.trace_ring_capacity);
   std::vector<exec::WorkerStats> stats(procs);
   sync::SpinBarrier start_line(procs);
   Stopwatch watch;
 
   dispatch([&](ProcId id) {
     exec::RContext ctx(id, procs, opts.measure_phases);
+    ctx.set_trace_sink(&rec.sink(id), rec.epoch());
     start_line.arrive_and_wait();
     if (id == 0) {
       watch.reset();  // time from the moment the full team is assembled
@@ -73,6 +89,7 @@ RunResult run_threads_impl(const program::NestedLoopProgram& prog, u32 procs,
   r.procs = procs;
   r.makespan = watch.elapsed_ns();
   r.workers = std::move(stats);
+  harvest_trace(rec, r);
   finalize(r);
   return r;
 }

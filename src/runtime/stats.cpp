@@ -69,6 +69,9 @@ std::string render_gantt(const RunResult& r, u32 width) {
     std::vector<std::array<Cycles, exec::kNumPhases>> cover(
         width, std::array<Cycles, exec::kNumPhases>{});
     for (const exec::PhaseInterval& iv : r.timeline[p]) {
+      // Zero-length (or inverted) intervals have no area to attribute —
+      // and end-1 underflowing below start would index columns negatively.
+      if (iv.end <= iv.start) continue;
       const auto c0 = static_cast<std::size_t>(
           std::min<double>(static_cast<double>(iv.start) / per_col,
                            width - 1));
@@ -120,6 +123,10 @@ std::string RunResult::summary() const {
      << " search_steps=" << total.search_steps << " enters=" << total.enters
      << " exits=" << total.exits << " released=" << total.icbs_released
      << "\n";
+  if (!trace_events.empty() || trace_events_dropped > 0) {
+    os << "trace: events=" << trace_events.size()
+       << " dropped=" << trace_events_dropped << "\n";
+  }
   return os.str();
 }
 

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "exec/context.hpp"
+#include "trace/counters.hpp"
+#include "trace/ring.hpp"
 
 namespace selfsched::runtime {
 
@@ -20,6 +22,13 @@ struct RunResult {
   u64 engine_ops = 0;
   /// Per-worker phase intervals (vtime only, opts.phase_timeline).
   std::vector<std::vector<exec::PhaseInterval>> timeline;
+  /// Metric counters folded across workers (always collected).
+  trace::Counters counters;
+  /// Scheduler events merged across workers in start-time order
+  /// (opts.trace_events; see trace/export.hpp for exporters).
+  std::vector<trace::TraceEvent> trace_events;
+  /// Events lost to per-worker ring wrap (oldest overwritten first).
+  u64 trace_events_dropped = 0;
 
   /// Processor utilization η = useful body time / (P * makespan).
   double utilization() const;

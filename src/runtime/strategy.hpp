@@ -24,6 +24,7 @@
 #include "exec/context.hpp"
 #include "runtime/ctx_sync.hpp"
 #include "runtime/icb.hpp"
+#include "trace/recorder.hpp"
 
 namespace selfsched::runtime {
 
@@ -117,6 +118,7 @@ Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
         if (cas.success) return finish(cas.fetched, want);
         // Another processor moved index between our Fetch and our CAS;
         // re-read and retry with the new remaining count.
+        trace::bump(ctx, &trace::Counters::cas_retries);
       }
     }
 

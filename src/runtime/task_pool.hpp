@@ -13,6 +13,7 @@
 #include "exec/context.hpp"
 #include "runtime/ctx_sync.hpp"
 #include "runtime/icb.hpp"
+#include "trace/recorder.hpp"
 
 namespace selfsched::runtime {
 
@@ -34,6 +35,7 @@ class TaskPool {
   /// Algorithm 2: append `ip` to list i and mark the list non-empty.
   void append(C& ctx, u32 i, Icb<C>* ip) {
     SS_DCHECK(i < m_);
+    trace::bump(ctx, &trace::Counters::pool_appends);
     List& l = lists_[i];
     ctx_lock(ctx, l.lock);
     Icb<C>* x = l.tail;
@@ -54,6 +56,7 @@ class TaskPool {
   /// still non-empty.  The ICB itself stays alive until its pcount drains.
   void delete_icb(C& ctx, u32 i, Icb<C>* ip) {
     SS_DCHECK(i < m_);
+    trace::bump(ctx, &trace::Counters::pool_deletes);
     List& l = lists_[i];
     ctx_lock(ctx, l.lock);
     sw_.reset(ctx, i);

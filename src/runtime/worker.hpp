@@ -21,6 +21,7 @@
 #include "exec/context.hpp"
 #include "runtime/high_level.hpp"
 #include "runtime/strategy.hpp"
+#include "trace/recorder.hpp"
 
 namespace selfsched::runtime {
 
@@ -54,12 +55,16 @@ void run_doacross_iteration(C& ctx, const SchedState<C>& st,
   const program::DoacrossSpec& spec = *d.doacross;
   auto wait_on = [&](i64 dist) {
     if (j - dist < 1) return;
+    const Cycles tw = trace::event_begin(ctx);
     exec::PhaseScope<C> wait(ctx, exec::Phase::kDoacrossWait);
     sync::Backoff backoff(1, st.opts.doacross_backoff_max);
     typename C::Sync& flag = icb.da_flags[j - dist];
     while (!ctx.sync_op(flag, Test::kEQ, 1, Op::kFetch).success) {
+      trace::bump(ctx, &trace::Counters::backoff_iterations);
       ctx.pause(backoff.next());
     }
+    trace::event_end(ctx, tw, trace::EventKind::kDoacrossWait, icb.loop,
+                     trace::ivec_hash(ivec, d.depth), j, dist);
   };
   wait_on(spec.distance);
   for (const i64 dist : spec.extra_distances) wait_on(dist);
@@ -113,6 +118,7 @@ void worker_loop(C& ctx, SchedState<C>& st) {
       continue;
     }
     ctx.stats().dispatches++;
+    trace::bump(ctx, &trace::Counters::dispatches);
     if (grab.last_scheduled) {
       // All iterations are scheduled (not necessarily completed): remove
       // the ICB so searchers move on to other instances.
@@ -122,6 +128,7 @@ void worker_loop(C& ctx, SchedState<C>& st) {
 
     // --- body: execute the grabbed iterations ---
     {
+      const Cycles tb = trace::event_begin(ctx);
       exec::PhaseScope<C> phase(ctx, exec::Phase::kBody);
       for (i64 j = grab.first; j < grab.first + grab.count; ++j) {
         if (d.doacross) {
@@ -131,6 +138,9 @@ void worker_loop(C& ctx, SchedState<C>& st) {
         }
         ctx.stats().iterations++;
       }
+      trace::event_end(ctx, tb, trace::EventKind::kChunk, cursor.i,
+                       trace::ivec_hash(cursor.ivec, d.depth), grab.first,
+                       grab.count);
     }
 
     // --- update: count completions; the last completer activates ---
@@ -143,6 +153,7 @@ void worker_loop(C& ctx, SchedState<C>& st) {
     }
     if (completed_before + grab.count == cursor.b) {
       {
+        const Cycles tx = trace::event_begin(ctx);
         exec::PhaseScope<C> phase(ctx, exec::Phase::kExitEnter);
         const Level lev =
             exit_from(ctx, st, cursor.i, d.depth, cursor.ivec);
@@ -151,13 +162,18 @@ void worker_loop(C& ctx, SchedState<C>& st) {
           SS_DCHECK(targ != kNoLoop);
           enter(ctx, st, targ, lev, cursor.ivec);
         }
+        trace::event_end(ctx, tx, trace::EventKind::kExit, cursor.i,
+                         trace::ivec_hash(cursor.ivec, d.depth),
+                         static_cast<i64>(lev), 0);
       }
       // Wait for every other attached processor to detach, then release.
       {
+        const Cycles tt = trace::event_begin(ctx);
         exec::PhaseScope<C> phase(ctx, exec::Phase::kTeardown);
         sync::Backoff backoff(1, st.opts.idle_backoff_max);
         while (!ctx.sync_op(cursor.ip->pcount, Test::kEQ, 1, Op::kDecrement)
                     .success) {
+          trace::bump(ctx, &trace::Counters::backoff_iterations);
           ctx.pause(backoff.next());
         }
         charge_cost<C>(ctx, &vtime::CostModel::icb_release);
@@ -170,6 +186,8 @@ void worker_loop(C& ctx, SchedState<C>& st) {
         if (before == 1) {
           ctx.sync_op(st.done, Test::kNone, 0, Op::kStore, 1);
         }
+        trace::event_end(ctx, tt, trace::EventKind::kTeardown, cursor.i,
+                         trace::ivec_hash(cursor.ivec, d.depth), 0, 0);
       }
       attached = search(ctx, st, cursor);
     }

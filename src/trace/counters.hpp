@@ -1,0 +1,40 @@
+// Scheduler metric counters: cheap always-on tallies of the events the
+// paper's overhead analysis cares about but WorkerStats' phase buckets
+// cannot resolve — CAS interference in the guided strategies, SW scan and
+// list-lock traffic in SEARCH, backoff pressure.  Each worker increments a
+// private cacheline-padded slot (trace/recorder.hpp); the runner folds the
+// slots into RunResult::counters.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace selfsched::trace {
+
+struct Counters {
+  u64 dispatches = 0;          // successful low-level grabs (chunks)
+  u64 cas_retries = 0;         // GSS/factoring fetch-then-CAS interference
+  u64 sw_scans = 0;            // SW leading-one-detection invocations
+  u64 lock_acquisitions = 0;   // paper-lock acquisitions (list locks et al.)
+  u64 backoff_iterations = 0;  // pause() calls across all spin loops
+  u64 pool_appends = 0;        // ICBs appended to the task pool
+  u64 pool_deletes = 0;        // ICBs unlinked from the task pool
+
+  /// Visit (name, member pointer) of every counter — single source of truth
+  /// for merge(), reports and exporters.
+  template <typename Fn>
+  static void for_each_field(Fn&& fn) {
+    fn("dispatches", &Counters::dispatches);
+    fn("cas_retries", &Counters::cas_retries);
+    fn("sw_scans", &Counters::sw_scans);
+    fn("lock_acquisitions", &Counters::lock_acquisitions);
+    fn("backoff_iterations", &Counters::backoff_iterations);
+    fn("pool_appends", &Counters::pool_appends);
+    fn("pool_deletes", &Counters::pool_deletes);
+  }
+
+  void merge(const Counters& o) {
+    for_each_field([&](const char*, u64 Counters::* m) { this->*m += o.*m; });
+  }
+};
+
+}  // namespace selfsched::trace

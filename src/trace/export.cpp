@@ -1,0 +1,101 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace selfsched::trace {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kChunk: return "chunk";
+    case EventKind::kSearch: return "search";
+    case EventKind::kExit: return "exit";
+    case EventKind::kEnter: return "enter";
+    case EventKind::kDoacrossWait: return "doacross_wait";
+    case EventKind::kTeardown: return "teardown";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Fixed-precision microsecond timestamp — Chrome accepts fractional ts.
+void put_us(std::ostream& os, Cycles t, double scale) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(t) * scale);
+  os << buf;
+}
+
+void put_slice(std::ostream& os, const TraceEvent& ev,
+               const ExportMeta& meta) {
+  os << "{\"name\":\"" << event_kind_name(ev.kind) << "\",\"cat\":\""
+     << event_kind_name(ev.kind) << "\",\"ph\":\"X\",\"ts\":";
+  put_us(os, ev.start, meta.scale_to_us);
+  os << ",\"dur\":";
+  put_us(os, std::max<Cycles>(ev.end - ev.start, 0), meta.scale_to_us);
+  os << ",\"pid\":0,\"tid\":" << ev.worker << ",\"args\":{";
+  if (ev.loop != kNoLoop) os << "\"loop\":" << ev.loop << ",";
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "0x%016" PRIx64, ev.ivec_hash);
+  os << "\"ivec\":\"" << hash << "\",\"first\":" << ev.first
+     << ",\"count\":" << ev.count << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<TraceEvent>& events, u32 procs,
+                        std::ostream& os, const ExportMeta& meta) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+     << "\"args\":{\"name\":\"" << meta.process_name << "\"}}";
+  for (u32 id = 0; id < procs; ++id) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << id
+       << ",\"args\":{\"name\":\"proc " << id << "\"}}";
+  }
+  for (const TraceEvent& ev : events) {
+    os << ",\n";
+    put_slice(os, ev, meta);
+  }
+  // Derived counter track: outstanding activated-but-unreleased instances,
+  // stepping +1 at each activation and -1 at each teardown.
+  std::vector<std::pair<Cycles, int>> deltas;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == EventKind::kEnter) deltas.emplace_back(ev.end, +1);
+    if (ev.kind == EventKind::kTeardown) deltas.emplace_back(ev.end, -1);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  i64 outstanding = 0;
+  for (const auto& [t, d] : deltas) {
+    outstanding += d;
+    os << ",\n{\"name\":\"outstanding ICBs\",\"ph\":\"C\",\"ts\":";
+    put_us(os, t, meta.scale_to_us);
+    os << ",\"pid\":0,\"args\":{\"icbs\":" << outstanding << "}}";
+  }
+  os << "\n]}\n";
+}
+
+void write_events_csv(const std::vector<TraceEvent>& events,
+                      std::ostream& os) {
+  os << "worker,kind,loop,ivec_hash,first,count,start,end\n";
+  for (const TraceEvent& ev : events) {
+    os << ev.worker << ',' << event_kind_name(ev.kind) << ',';
+    if (ev.loop != kNoLoop) {
+      os << ev.loop;
+    } else {
+      os << -1;
+    }
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "0x%016" PRIx64, ev.ivec_hash);
+    os << ',' << hash << ',' << ev.first << ',' << ev.count << ','
+       << ev.start << ',' << ev.end << '\n';
+  }
+}
+
+void write_counters(const Counters& c, std::ostream& os) {
+  Counters::for_each_field([&](const char* name, u64 Counters::* m) {
+    os << name << '=' << c.*m << '\n';
+  });
+}
+
+}  // namespace selfsched::trace

@@ -1,0 +1,37 @@
+// Exporters for the event stream: Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing) and a compact CSV, plus the counter report.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/counters.hpp"
+#include "trace/ring.hpp"
+
+namespace selfsched::trace {
+
+struct ExportMeta {
+  /// Shown as the Perfetto process name.
+  std::string process_name = "selfsched";
+  /// Multiplier from TraceEvent time units to microseconds (Chrome's `ts`
+  /// unit): 1e-3 for the threaded engine (nanoseconds), 1.0 to view the
+  /// vtime engine's virtual cycles as if they were microseconds.
+  double scale_to_us = 1e-3;
+};
+
+/// Chrome trace-event JSON: one complete ("ph":"X") slice per event on one
+/// track per processor (pid 0, tid = processor id, thread_name metadata for
+/// every processor), plus a derived "outstanding ICBs" counter track
+/// ("ph":"C") stepping at every kEnter / kTeardown event.
+void write_chrome_trace(const std::vector<TraceEvent>& events, u32 procs,
+                        std::ostream& os, const ExportMeta& meta = {});
+
+/// One CSV row per event: worker,kind,loop,ivec_hash,first,count,start,end.
+void write_events_csv(const std::vector<TraceEvent>& events,
+                      std::ostream& os);
+
+/// One "name=value" line per metric counter.
+void write_counters(const Counters& c, std::ostream& os);
+
+}  // namespace selfsched::trace

@@ -12,6 +12,7 @@
 
 #include "common/types.hpp"
 #include "exec/context.hpp"
+#include "trace/recorder.hpp"
 #include "vtime/costs.hpp"
 #include "vtime/engine.hpp"
 
@@ -98,11 +99,19 @@ class VContext {
 
   Cycles now() const { return engine_->now(proc_); }
 
+  /// Trace hook points (trace/recorder.hpp).  Reading the virtual clock
+  /// does not advance it, so a traced vtime run is bit-identical to an
+  /// untraced one.
+  void set_trace_sink(trace::WorkerSink* sink) { trace_sink_ = sink; }
+  trace::WorkerSink* trace_sink() const { return trace_sink_; }
+  Cycles trace_now() const { return engine_->now(proc_); }
+
  private:
   Engine* engine_;
   CostModel costs_;
   ProcId proc_;
   Phase phase_ = Phase::kOther;
+  trace::WorkerSink* trace_sink_ = nullptr;
   exec::WorkerStats stats_;
   std::optional<std::vector<exec::PhaseInterval>> timeline_;
   Cycles interval_start_ = 0;

@@ -1,15 +1,17 @@
 // Unit tests of the runtime building blocks in isolation, driven through a
 // single-processor real context: ICB pool recycling, BAR_COUNT semantics,
-// task-pool list surgery with SW invariants, and the dispatch strategies'
-// exact grab sequences.
+// task-pool list surgery with SW invariants, the dispatch strategies'
+// exact grab sequences, and the Gantt timeline renderer.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 #include <vector>
 
 #include "exec/real_context.hpp"
 #include "runtime/bar_count.hpp"
 #include "runtime/icb_pool.hpp"
+#include "runtime/stats.hpp"
 #include "runtime/strategy.hpp"
 #include "runtime/task_pool.hpp"
 
@@ -278,6 +280,58 @@ TEST(Strategy, Names) {
   EXPECT_STREQ(Strategy::self().name(), "self(1)");
   EXPECT_STREQ(Strategy::gss().name(), "gss");
   EXPECT_STREQ(Strategy::chunked(5).name(), "chunk");
+}
+
+// ------------------------------------------------------------ render_gantt --
+
+constexpr char kGanttHeader[] =
+    "gantt over 10 cycles ('#'=body '+'=iter-sync 's'=search 'E'=exit/enter "
+    "'.'=idle 'w'=doacross-wait 't'=teardown)\n";
+
+RunResult gantt_result() {
+  RunResult r;
+  r.procs = 2;
+  r.makespan = 10;
+  r.timeline.resize(2);
+  return r;
+}
+
+TEST(RenderGantt, SnapshotTwoProcs) {
+  RunResult r = gantt_result();
+  r.timeline[0] = {{exec::Phase::kBody, 0, 5}, {exec::Phase::kSearch, 5, 10}};
+  r.timeline[1] = {{exec::Phase::kBody, 0, 10}};
+  EXPECT_EQ(render_gantt(r, 10), std::string(kGanttHeader) +
+                                     "p00 |#####sssss|\n"
+                                     "p01 |##########|\n");
+}
+
+TEST(RenderGantt, ZeroLengthIntervalIsSkipped) {
+  // A [3,3) interval has no area; it must neither paint a column nor
+  // underflow the end-1 column computation.
+  RunResult r = gantt_result();
+  r.timeline[0] = {{exec::Phase::kSearch, 3, 3}, {exec::Phase::kBody, 0, 10}};
+  r.timeline[1] = {{exec::Phase::kSearch, 0, 0}};
+  EXPECT_EQ(render_gantt(r, 10), std::string(kGanttHeader) +
+                                     "p00 |##########|\n"
+                                     "p01 |          |\n");
+}
+
+TEST(RenderGantt, EmptyTimelineReturnsPlaceholder) {
+  RunResult r;
+  r.procs = 2;
+  r.makespan = 10;
+  EXPECT_EQ(render_gantt(r, 10),
+            "(no timeline recorded; set SchedOptions::phase_timeline)\n");
+}
+
+TEST(RenderGantt, ZeroMakespanReturnsPlaceholder) {
+  RunResult r = gantt_result();
+  r.makespan = 0;
+  r.timeline[0] = {{exec::Phase::kBody, 0, 0}};
+  EXPECT_EQ(render_gantt(r, 10),
+            "(no timeline recorded; set SchedOptions::phase_timeline)\n");
+  EXPECT_EQ(render_gantt(gantt_result(), 0),
+            "(no timeline recorded; set SchedOptions::phase_timeline)\n");
 }
 
 }  // namespace

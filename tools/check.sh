@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 build+test pass (ROADMAP.md), then a
+# ThreadSanitizer build of the threaded-scheduler tests to catch data races
+# the plain build can't see.
+#
+#   tools/check.sh            # tier-1 + TSan
+#   tools/check.sh --fast     # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== OK (tier-1 only) =="
+  exit 0
+fi
+
+echo "== TSan: threaded scheduler tests =="
+cmake -B build-tsan -S . -DSELFSCHED_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target test_scheduler_threads
+./build-tsan/tests/test_scheduler_threads
+
+echo "== OK =="

@@ -18,6 +18,7 @@
 #include "program/instance_graph.hpp"
 #include "runtime/report.hpp"
 #include "runtime/scheduler.hpp"
+#include "trace/export.hpp"
 
 using namespace selfsched;
 
@@ -52,9 +53,17 @@ void usage(const char* argv0) {
       "  --gantt [WIDTH]          print the processor timeline (vtime)\n"
       "  --timeline-csv FILE      write the phase timeline as CSV (vtime)\n"
       "  --summary-csv FILE       append the run metrics as a CSV row\n"
+      "  --json                   print the run metrics as one JSON object\n"
       "  --serial                 also run the serial oracle and report\n"
-      "                           speedup against it\n",
-      argv0);
+      "                           speedup against it\n"
+      "\n"
+      "tracing (docs/observability.md):\n"
+      "  --trace-out FILE.json    record scheduler events and write a Chrome\n"
+      "                           trace (open in Perfetto / about:tracing)\n"
+      "  --events-csv FILE        record events and write them as CSV\n"
+      "  --trace-ring N           per-worker event ring capacity (default %u)\n"
+      "  --counters               print the metric counters (name=value)\n",
+      argv0, runtime::SchedOptions{}.trace_ring_capacity);
 }
 
 bool parse_strategy(const std::string& s, runtime::Strategy* out) {
@@ -84,7 +93,8 @@ int main(int argc, char** argv) {
   u32 procs = 8;
   bool show_tables = false, show_dot = false, run_serial = false;
   bool show_instances = false, emit_source = false;
-  std::string timeline_csv, summary_csv;
+  std::string timeline_csv, summary_csv, trace_out, events_csv;
+  bool show_json = false, show_counters = false;
   bool gantt = false;
   u32 gantt_width = 100;
   runtime::SchedOptions opts;
@@ -148,6 +158,17 @@ int main(int argc, char** argv) {
       timeline_csv = next();
     } else if (arg == "--summary-csv") {
       summary_csv = next();
+    } else if (arg == "--json") {
+      show_json = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--events-csv") {
+      events_csv = next();
+    } else if (arg == "--trace-ring") {
+      opts.trace_ring_capacity =
+          static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--counters") {
+      show_counters = true;
     } else if (arg == "--gantt") {
       gantt = true;
       if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(
@@ -210,6 +231,7 @@ int main(int argc, char** argv) {
     }
 
     opts.phase_timeline = gantt || !timeline_csv.empty();
+    opts.trace_events = !trace_out.empty() || !events_csv.empty();
     runtime::RunResult r;
     if (engine == "vtime") {
       r = runtime::run_vtime(prog, procs, opts);
@@ -236,6 +258,40 @@ int main(int argc, char** argv) {
       if (fresh) runtime::write_summary_csv_header(csv);
       runtime::write_summary_csv_row(path + "/" + engine, r, csv);
       std::printf("summary appended to %s\n", summary_csv.c_str());
+    }
+    if (show_json) {
+      std::ostringstream js;
+      runtime::write_json_report(r, js);
+      std::printf("%s", js.str().c_str());
+    }
+    if (show_counters) {
+      std::ostringstream cs;
+      trace::write_counters(r.counters, cs);
+      std::printf("%s", cs.str().c_str());
+    }
+    if (!trace_out.empty()) {
+      std::ofstream tf(trace_out);
+      if (!tf) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      trace::ExportMeta meta;
+      // threads timestamps are ns since run start; vtime stamps are cycles,
+      // exported 1:1 as microseconds so Perfetto shows round numbers.
+      meta.scale_to_us = (engine == "threads") ? 1e-3 : 1.0;
+      trace::write_chrome_trace(r.trace_events, r.procs, tf, meta);
+      std::printf("trace written to %s (%zu events, %llu dropped)\n",
+                  trace_out.c_str(), r.trace_events.size(),
+                  static_cast<unsigned long long>(r.trace_events_dropped));
+    }
+    if (!events_csv.empty()) {
+      std::ofstream ef(events_csv);
+      if (!ef) {
+        std::fprintf(stderr, "cannot write %s\n", events_csv.c_str());
+        return 1;
+      }
+      trace::write_events_csv(r.trace_events, ef);
+      std::printf("events written to %s\n", events_csv.c_str());
     }
   } catch (const lang::ParseError& e) {
     std::fprintf(stderr, "%s\n", e.what());
