@@ -4,6 +4,7 @@
 #include "common/types.hpp"
 #include "runtime/strategy.hpp"
 #include "vtime/costs.hpp"
+#include "vtime/schedule_ctrl.hpp"
 
 namespace selfsched::runtime {
 
@@ -27,6 +28,18 @@ struct SchedOptions {
   /// Virtual-time engine: record the serialized op trace (determinism
   /// tests; memory-heavy).
   bool trace = false;
+
+  /// Virtual-time engine: tie-break schedule controller (schedule
+  /// exploration).  The default kCanonical spec preserves today's strict
+  /// (time, id) grant order bit-for-bit; kSeededShuffle / kPct explore
+  /// alternative legal interleavings; kReplay reproduces a recorded one.
+  /// Results are deterministic per (program, cost model, schedule spec).
+  vtime::ScheduleSpec schedule;
+
+  /// Virtual-time engine: record the grant chosen at every multi-candidate
+  /// decision point into RunResult::schedule_decisions — together with
+  /// `schedule` this is a complete replayable repro of the interleaving.
+  bool record_schedule = false;
 
   /// Virtual-time engine: record per-worker (phase, start, end) intervals
   /// into RunResult::timeline for Gantt rendering (render_gantt()).

@@ -1,6 +1,7 @@
 #include "runtime/scheduler.hpp"
 
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "trace/recorder.hpp"
 #include "vtime/context.hpp"
 #include "vtime/engine.hpp"
+#include "vtime/schedule_ctrl.hpp"
 
 namespace selfsched::runtime {
 
@@ -29,6 +31,10 @@ RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
                     const SchedOptions& opts) {
   SchedState<vtime::VContext> st(prog.tables(), opts);
   vtime::Engine engine(procs, opts.trace);
+  const std::unique_ptr<vtime::ScheduleController> ctrl =
+      vtime::make_controller(opts.schedule, procs);
+  engine.set_schedule_controller(ctrl.get());
+  engine.set_record_schedule(opts.record_schedule);
   trace::Recorder rec(procs, opts.trace_events, opts.trace_ring_capacity);
   std::vector<exec::WorkerStats> stats(procs);
   std::vector<std::vector<exec::PhaseInterval>> timeline(
@@ -50,6 +56,8 @@ RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
   r.makespan = makespan;
   r.workers = std::move(stats);
   r.engine_ops = engine.total_ops();
+  r.schedule_decisions = engine.schedule_decisions();
+  r.schedule_diverged = ctrl != nullptr && ctrl->diverged();
   r.timeline = std::move(timeline);
   harvest_trace(rec, r);
   finalize(r);

@@ -29,6 +29,13 @@ struct RunResult {
   std::vector<trace::TraceEvent> trace_events;
   /// Events lost to per-worker ring wrap (oldest overwritten first).
   u64 trace_events_dropped = 0;
+  /// Recorded schedule choice points (vtime only, opts.record_schedule):
+  /// the processor granted at each multi-candidate tie-break.  Feed back
+  /// via a kReplay ScheduleSpec to reproduce the interleaving exactly.
+  std::vector<ProcId> schedule_decisions;
+  /// vtime only: a kReplay controller stopped matching its recorded
+  /// decision trace (the run completed with canonical fallback picks).
+  bool schedule_diverged = false;
 
   /// Processor utilization η = useful body time / (P * makespan).
   double utilization() const;

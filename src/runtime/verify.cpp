@@ -75,48 +75,82 @@ std::string describe_key(const Key& k) {
 }  // namespace
 
 DiffResult differential_check(const ProgramBuilder& build, u32 procs,
-                              EngineKind engine, const SchedOptions& opts) {
+                              EngineKind engine, const SchedOptions& opts,
+                              const ScheduleSweep& sweep) {
   DiffResult out;
 
-  Recorder serial_rec, par_rec;
+  Recorder serial_rec;
   program::NestedLoopProgram serial_prog = build(serial_rec.factory());
-  program::NestedLoopProgram par_prog = build(par_rec.factory());
-
   const auto serial =
       baselines::run_sequential(serial_prog, opts.default_body_cost);
   out.serial_iterations = serial.iterations;
-
-  const RunResult r = engine == EngineKind::kVtime
-                          ? run_vtime(par_prog, procs, opts)
-                          : run_threads(par_prog, procs, opts);
-  out.parallel_iterations = r.total.iterations;
-  out.makespan = r.makespan;
-
-  std::ostringstream detail;
-  if (r.total.enters != r.total.icbs_released) {
-    detail << "ICB leak: " << r.total.enters << " activated vs "
-           << r.total.icbs_released << " released\n";
-  }
-
   const auto a = serial_rec.sorted(serial_prog);
-  const auto b = par_rec.sorted(par_prog);
-  if (a != b) {
-    std::map<Key, int> diff;
-    for (const Key& k : a) diff[k] += 1;
-    for (const Key& k : b) diff[k] -= 1;
-    int shown = 0;
-    for (const auto& [k, c] : diff) {
-      if (c == 0) continue;
-      if (shown++ >= 8) {
-        detail << "  ...\n";
-        break;
+
+  const u32 n = std::max<u32>(sweep.schedules, 1);
+  for (u32 s = 0; s < n; ++s) {
+    Recorder par_rec;
+    program::NestedLoopProgram par_prog = build(par_rec.factory());
+
+    SchedOptions run_opts = opts;
+    if (sweep.schedules > 0 && engine == EngineKind::kVtime) {
+      run_opts.schedule = vtime::ScheduleSpec{};
+      run_opts.schedule.kind = sweep.controller;
+      run_opts.schedule.seed = sweep.base_seed + s;
+      run_opts.schedule.jitter = sweep.jitter;
+      run_opts.schedule.pct_depth = sweep.pct_depth;
+      run_opts.record_schedule = true;
+    }
+
+    const RunResult r = engine == EngineKind::kVtime
+                            ? run_vtime(par_prog, procs, run_opts)
+                            : run_threads(par_prog, procs, run_opts);
+    out.parallel_iterations = r.total.iterations;
+    out.makespan = r.makespan;
+    ++out.schedules_run;
+
+    std::ostringstream detail;
+    if (r.schedule_diverged) {
+      detail << "schedule replay diverged from its recorded decision "
+                "trace\n";
+    }
+    if (r.total.enters != r.total.icbs_released) {
+      detail << "ICB leak: " << r.total.enters << " activated vs "
+             << r.total.icbs_released << " released\n";
+    }
+
+    const auto b = par_rec.sorted(par_prog);
+    if (a != b) {
+      std::map<Key, int> diff;
+      for (const Key& k : a) diff[k] += 1;
+      for (const Key& k : b) diff[k] -= 1;
+      int shown = 0;
+      for (const auto& [k, c] : diff) {
+        if (c == 0) continue;
+        if (shown++ >= 8) {
+          detail << "  ...\n";
+          break;
+        }
+        detail << (c > 0 ? "  missing in parallel: " : "  extra in parallel: ")
+               << describe_key(k) << " x" << std::abs(c) << "\n";
       }
-      detail << (c > 0 ? "  missing in parallel: " : "  extra in parallel: ")
-             << describe_key(k) << " x" << std::abs(c) << "\n";
+    }
+
+    out.detail = detail.str();
+    if (!out.detail.empty()) {
+      out.failed_schedule = run_opts.schedule;
+      out.failed_schedule.decisions = r.schedule_decisions;
+      if (engine == EngineKind::kVtime) {
+        std::ostringstream where;
+        where << "schedule: controller="
+              << vtime::controller_kind_name(run_opts.schedule.kind)
+              << " seed=" << run_opts.schedule.seed
+              << " jitter=" << run_opts.schedule.jitter << "\n";
+        out.detail += where.str();
+      }
+      break;
     }
   }
 
-  out.detail = detail.str();
   out.ok = out.detail.empty();
   return out;
 }

@@ -25,16 +25,38 @@ struct DiffResult {
   u64 serial_iterations = 0;
   u64 parallel_iterations = 0;
   Cycles makespan = 0;
+  /// Parallel runs actually performed (1 without a schedule sweep).
+  u32 schedules_run = 0;
+  /// When !ok on the vtime engine: the schedule spec of the failing run,
+  /// with its recorded choice-point decisions — flip it to kReplay
+  /// (vtime::replay_of) to reproduce the failure exactly.
+  vtime::ScheduleSpec failed_schedule;
 };
 
 enum class EngineKind : u32 { kVtime, kThreads };
 
+/// Sweep of tie-break schedules to try per program (vtime engine).  With
+/// `schedules` == 0 a single run uses opts.schedule unchanged; otherwise
+/// the parallel side runs `schedules` times under `controller` with seeds
+/// base_seed, base_seed+1, ... — multiplying the interleavings the one
+/// serial oracle is checked against.  On the threaded engine the sweep
+/// simply reruns the (naturally nondeterministic) parallel side.
+struct ScheduleSweep {
+  u32 schedules = 0;
+  vtime::ControllerKind controller = vtime::ControllerKind::kSeededShuffle;
+  u64 base_seed = 1;
+  Cycles jitter = 1;   // kSeededShuffle ordering-key jitter amplitude
+  u32 pct_depth = 3;   // kPct priority-change points
+};
+
 /// Run `build` serially and on the chosen engine with `procs` workers and
 /// compare.  Checks: identical iteration multisets (leaf name, enclosing
 /// indices, iteration index), every activated ICB released exactly once,
-/// and the task pool drained.
+/// and the task pool drained — for every schedule in `sweep`, stopping at
+/// the first failing one.
 DiffResult differential_check(const ProgramBuilder& build, u32 procs,
                               EngineKind engine,
-                              const SchedOptions& opts = {});
+                              const SchedOptions& opts = {},
+                              const ScheduleSweep& sweep = {});
 
 }  // namespace selfsched::runtime

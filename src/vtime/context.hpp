@@ -1,7 +1,10 @@
 // Virtual-time execution context: adapts the Engine to the ExecutionContext
 // concept.  Every synchronization instruction costs CostModel::sync_op
 // cycles and executes at a deterministic point on the virtual clock; work()
-// and pause() advance the clock without blocking.  Phase attribution is
+// and pause() advance the clock without blocking.  When the engine carries
+// a ScheduleController, "deterministic" means per (controller, seed): the
+// same spec replays the same grant order bit-for-bit, and different seeds
+// explore different legal tie-break interleavings.  Phase attribution is
 // exact: each charged cycle lands in the bucket of the phase that was
 // current when it was charged, so O1/O2/O3 of the paper's analysis fall
 // straight out of WorkerStats.

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "vtime/schedule_ctrl.hpp"
+
 namespace selfsched::vtime {
 
 Engine::Engine(u32 num_procs, bool trace)
@@ -71,10 +73,16 @@ sync::SyncResult Engine::sync_execute(ProcId id, Cycles cost, VSync& var,
   Vp& vp = vps_[id];
   running_.erase({vp.local_time, id});
   vp.next_time = vp.local_time + std::max<Cycles>(cost, 1);
-  pending_.insert({vp.next_time, id});
+  vp.eff_time = vp.next_time;
+  const u64 op_index = vp.ops_issued++;
+  if (ctrl_ != nullptr) {
+    vp.eff_time += std::max<Cycles>(ctrl_->jitter(id, op_index), 0);
+  }
+  pending_.insert({vp.eff_time, id});
   maybe_grant_locked();
   vp.cv.wait(lk, [&] { return vp.granted; });
   vp.granted = false;
+  grant_outstanding_ = false;
 
   // We hold the engine mutex and the grant: this is the indivisible
   // instant at which the instruction executes on the virtual machine.
@@ -91,7 +99,7 @@ sync::SyncResult Engine::sync_execute(ProcId id, Cycles cost, VSync& var,
                                 test_value, op, operand, r.success,
                                 r.fetched});
   }
-  pending_.erase({vp.next_time, id});
+  pending_.erase({vp.eff_time, id});
   vp.local_time = vp.next_time;
   running_.insert({vp.local_time, id});
   maybe_grant_locked();
@@ -114,18 +122,50 @@ Cycles Engine::now(ProcId id) const {
 }
 
 void Engine::maybe_grant_locked() {
-  if (pending_.empty()) return;
+  if (grant_outstanding_ || pending_.empty()) return;
   const Key head = *pending_.begin();
+  const bool exploring = ctrl_ != nullptr || record_schedule_;
   if (!running_.empty()) {
     const Key rb = *running_.begin();
-    // The earliest event a Running vp could still produce is at
-    // (local_time + 1) with its own id as the tie-breaker.
-    const Key bound{rb.first + 1, rb.second};
-    if (!(head < bound)) return;
+    if (exploring) {
+      // A decision may only be made once every Running vp's clock has
+      // reached the head timestamp: any later op costs >= 1 cycle, so no
+      // vp outside the current head-time tie set can ever join it.  The
+      // candidate set is then a function of virtual-time state alone —
+      // independent of host thread timing — which is what makes every
+      // controller decision (and its recording) deterministic.  The
+      // executed grant sequence is still sorted by (eff_time, id), so with
+      // canonical picks this path is bit-identical to the greedy one.
+      if (rb.first < head.first) return;
+    } else {
+      // Greedy original: the earliest event a Running vp could still
+      // produce is at (local_time + 1) with its own id as the tie-breaker.
+      const Key bound{rb.first + 1, rb.second};
+      if (!(head < bound)) return;
+    }
   }
-  Vp& vp = vps_[head.second];
+  ProcId chosen = head.second;
+  if (exploring) {
+    cands_.clear();
+    for (auto it = pending_.begin();
+         it != pending_.end() && it->first == head.first; ++it) {
+      cands_.push_back(it->second);
+    }
+    if (cands_.size() > 1) {
+      std::size_t k = 0;
+      if (ctrl_ != nullptr) {
+        k = ctrl_->pick(cands_);
+        SS_DCHECK(k < cands_.size());
+        if (k >= cands_.size()) k = 0;
+      }
+      chosen = cands_[k];
+      if (record_schedule_) decisions_.push_back(chosen);
+    }
+  }
+  Vp& vp = vps_[chosen];
   if (!vp.granted) {
     vp.granted = true;
+    grant_outstanding_ = true;
     vp.cv.notify_one();
   }
 }

@@ -19,6 +19,15 @@
 // A pending vp with key (next_time, id) is granted when its key is
 // lexicographically smaller than every other pending key and smaller than
 // (local_time + 1, id) of every Running vp.
+//
+// Tie-breaks are pluggable: a ScheduleController (schedule_ctrl.hpp) may
+// own the choice among simultaneously-eligible pending vps, exploring
+// alternative legal interleavings.  With a controller attached the engine
+// waits until no Running vp can still produce an event at the head
+// timestamp before deciding, so the candidate set — and therefore every
+// controller decision — is independent of host thread timing; results are
+// then a pure function of (program, cost model, controller spec).  Without
+// a controller the original greedy head-grant path runs unchanged.
 #pragma once
 
 #include <condition_variable>
@@ -35,6 +44,8 @@
 #include "sync/test_op.hpp"
 
 namespace selfsched::vtime {
+
+class ScheduleController;
 
 /// A simulated synchronization variable: a plain word whose every access is
 /// engine-mediated.  Lives wherever the runtime puts it (ICBs, lock tables);
@@ -75,6 +86,18 @@ class Engine {
 
   u32 num_procs() const { return num_procs_; }
 
+  /// Attach a tie-break controller (borrowed; must outlive run()).  Call
+  /// before run().  nullptr restores canonical (time, id) order.
+  void set_schedule_controller(ScheduleController* ctrl) { ctrl_ = ctrl; }
+
+  /// Record the grant chosen at every multi-candidate decision point (the
+  /// schedule's choice-point trace; feed it to a kReplay controller to
+  /// reproduce this run).  Call before run().
+  void set_record_schedule(bool on) { record_schedule_ = on; }
+
+  /// Recorded choice-point grants (valid after run() when recording).
+  const std::vector<ProcId>& schedule_decisions() const { return decisions_; }
+
   /// Launch one carrier thread per virtual processor, run `worker(proc)` on
   /// each, join, and return the makespan (max final local time).  A fresh
   /// Engine is required per run.
@@ -106,6 +129,11 @@ class Engine {
   struct Vp {
     Cycles local_time = 0;
     Cycles next_time = 0;
+    /// Ordering key used in pending_: next_time plus controller jitter.
+    /// Jitter perturbs only the grant order, never the virtual clock.
+    Cycles eff_time = 0;
+    /// Sync ops issued so far (jitter hash input).
+    u64 ops_issued = 0;
     bool granted = false;
     std::condition_variable cv;
   };
@@ -120,11 +148,19 @@ class Engine {
 
   u32 num_procs_;
   bool tracing_;
+  ScheduleController* ctrl_ = nullptr;
+  bool record_schedule_ = false;
 
   mutable std::mutex mu_;
   std::vector<Vp> vps_;
-  std::set<Key> pending_;  // (next_time, id) of vps awaiting their grant
+  std::set<Key> pending_;  // (eff_time, id) of vps awaiting their grant
   std::set<Key> running_;  // (local_time, id) of vps executing host code
+  /// A grant has been issued but the woken vp has not executed yet; no
+  /// further grant decision may be made (with a controller, re-deciding
+  /// would consume RNG/replay state nondeterministically).
+  bool grant_outstanding_ = false;
+  std::vector<ProcId> cands_;     // decision-point scratch
+  std::vector<ProcId> decisions_; // recorded choice-point grants
   u64 seq_ = 0;
   u64 op_limit_ = 0;
   Cycles makespan_ = 0;

@@ -1,0 +1,236 @@
+#include "vtime/schedule_ctrl.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace selfsched::vtime {
+
+const char* controller_kind_name(ControllerKind k) {
+  switch (k) {
+    case ControllerKind::kCanonical: return "canonical";
+    case ControllerKind::kSeededShuffle: return "shuffle";
+    case ControllerKind::kPct: return "pct";
+    case ControllerKind::kReplay: return "replay";
+  }
+  return "?";
+}
+
+std::optional<ControllerKind> parse_controller_kind(const std::string& s) {
+  if (s == "canonical") return ControllerKind::kCanonical;
+  if (s == "shuffle") return ControllerKind::kSeededShuffle;
+  if (s == "pct") return ControllerKind::kPct;
+  if (s == "replay") return ControllerKind::kReplay;
+  return std::nullopt;
+}
+
+namespace {
+
+class SeededShuffleController final : public ScheduleController {
+ public:
+  explicit SeededShuffleController(const ScheduleSpec& spec)
+      : rng_(spec.seed), seed_(spec.seed), amp_(spec.jitter) {}
+
+  const char* name() const override { return "shuffle"; }
+
+  std::size_t pick(const std::vector<ProcId>& candidates) override {
+    return static_cast<std::size_t>(rng_.below(candidates.size()));
+  }
+
+  Cycles jitter(ProcId id, u64 op_index) const override {
+    return tie_jitter(seed_, amp_, id, op_index);
+  }
+
+ private:
+  Xoshiro256ss rng_;
+  u64 seed_;
+  Cycles amp_;
+};
+
+/// PCT over tie-breaks: distinct per-processor priorities d..d+P-1, ties
+/// go to the highest priority, and at the i-th of d random decision points
+/// the winner's priority drops to d-1-i (below every undemoted processor
+/// and every earlier demotion).
+class PctController final : public ScheduleController {
+ public:
+  PctController(const ScheduleSpec& spec, u32 num_procs)
+      : priority_(num_procs) {
+    Xoshiro256ss rng(spec.seed);
+    const u32 d = std::max<u32>(spec.pct_depth, 1);
+    std::iota(priority_.begin(), priority_.end(), static_cast<i64>(d));
+    for (u32 i = num_procs; i > 1; --i) {  // Fisher–Yates
+      std::swap(priority_[i - 1],
+                priority_[static_cast<std::size_t>(rng.below(i))]);
+    }
+    change_points_.reserve(d);
+    const u64 horizon = std::max<u64>(spec.pct_ops, 1);
+    for (u32 i = 0; i < d; ++i) change_points_.push_back(rng.below(horizon));
+    std::sort(change_points_.begin(), change_points_.end());
+    next_demotion_ = static_cast<i64>(d) - 1;
+  }
+
+  const char* name() const override { return "pct"; }
+
+  std::size_t pick(const std::vector<ProcId>& candidates) override {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (priority_[candidates[i]] > priority_[candidates[best]]) best = i;
+    }
+    const u64 decision = decisions_++;
+    while (change_cursor_ < change_points_.size() &&
+           change_points_[change_cursor_] <= decision) {
+      ++change_cursor_;
+      priority_[candidates[best]] = next_demotion_--;
+    }
+    return best;
+  }
+
+ private:
+  std::vector<i64> priority_;
+  std::vector<u64> change_points_;
+  std::size_t change_cursor_ = 0;
+  u64 decisions_ = 0;
+  i64 next_demotion_ = 0;
+};
+
+class ReplayController final : public ScheduleController {
+ public:
+  explicit ReplayController(const ScheduleSpec& spec)
+      : decisions_(spec.decisions), seed_(spec.seed), amp_(spec.jitter) {}
+
+  const char* name() const override { return "replay"; }
+
+  std::size_t pick(const std::vector<ProcId>& candidates) override {
+    if (cursor_ >= decisions_.size()) {
+      diverged_ = true;
+      return 0;
+    }
+    const ProcId want = decisions_[cursor_++];
+    const auto it =
+        std::find(candidates.begin(), candidates.end(), want);
+    if (it == candidates.end()) {
+      diverged_ = true;
+      return 0;
+    }
+    return static_cast<std::size_t>(it - candidates.begin());
+  }
+
+  Cycles jitter(ProcId id, u64 op_index) const override {
+    return tie_jitter(seed_, amp_, id, op_index);
+  }
+
+  bool diverged() const override { return diverged_; }
+
+ private:
+  std::vector<ProcId> decisions_;
+  std::size_t cursor_ = 0;
+  u64 seed_;
+  Cycles amp_;
+  bool diverged_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<ScheduleController> make_controller(const ScheduleSpec& spec,
+                                                    u32 num_procs) {
+  SS_CHECK(num_procs > 0);
+  switch (spec.kind) {
+    case ControllerKind::kCanonical:
+      return nullptr;
+    case ControllerKind::kSeededShuffle:
+      return std::make_unique<SeededShuffleController>(spec);
+    case ControllerKind::kPct:
+      return std::make_unique<PctController>(spec, num_procs);
+    case ControllerKind::kReplay:
+      return std::make_unique<ReplayController>(spec);
+  }
+  return nullptr;
+}
+
+// --------------------------------------------------------------- repro I/O
+
+std::string serialize_repro(const ReproFile& r) {
+  std::ostringstream os;
+  os << "selfsched-repro v1\n";
+  os << "controller " << controller_kind_name(r.schedule.kind) << "\n";
+  os << "seed " << r.schedule.seed << "\n";
+  os << "jitter " << r.schedule.jitter << "\n";
+  os << "pct_depth " << r.schedule.pct_depth << "\n";
+  os << "pct_ops " << r.schedule.pct_ops << "\n";
+  for (const auto& [k, v] : r.extra) os << "extra " << k << " " << v << "\n";
+  os << "decisions " << r.schedule.decisions.size() << "\n";
+  for (std::size_t i = 0; i < r.schedule.decisions.size(); ++i) {
+    os << r.schedule.decisions[i]
+       << ((i + 1) % 16 == 0 || i + 1 == r.schedule.decisions.size() ? "\n"
+                                                                     : " ");
+  }
+  os << "end\n";
+  return os.str();
+}
+
+std::optional<ReproFile> parse_repro(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "selfsched-repro" ||
+      version != "v1") {
+    return std::nullopt;
+  }
+  ReproFile r;
+  std::string key;
+  bool saw_end = false;
+  while (is >> key) {
+    if (key == "controller") {
+      std::string v;
+      if (!(is >> v)) return std::nullopt;
+      const auto kind = parse_controller_kind(v);
+      if (!kind) return std::nullopt;
+      r.schedule.kind = *kind;
+    } else if (key == "seed") {
+      if (!(is >> r.schedule.seed)) return std::nullopt;
+    } else if (key == "jitter") {
+      if (!(is >> r.schedule.jitter)) return std::nullopt;
+    } else if (key == "pct_depth") {
+      if (!(is >> r.schedule.pct_depth)) return std::nullopt;
+    } else if (key == "pct_ops") {
+      if (!(is >> r.schedule.pct_ops)) return std::nullopt;
+    } else if (key == "extra") {
+      std::string k, v;
+      if (!(is >> k >> v)) return std::nullopt;
+      r.extra.emplace_back(std::move(k), std::move(v));
+    } else if (key == "decisions") {
+      std::size_t n = 0;
+      if (!(is >> n)) return std::nullopt;
+      r.schedule.decisions.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!(is >> r.schedule.decisions[i])) return std::nullopt;
+      }
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_end) return std::nullopt;
+  return r;
+}
+
+bool write_repro_file(const std::string& path, const ReproFile& r) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << serialize_repro(r);
+  return static_cast<bool>(f);
+}
+
+std::optional<ReproFile> read_repro_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse_repro(buf.str());
+}
+
+}  // namespace selfsched::vtime

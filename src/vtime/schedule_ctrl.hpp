@@ -1,0 +1,160 @@
+// Schedule exploration for the virtual-time engine.
+//
+// The engine serializes synchronization operations in (timestamp,
+// processor-id) order.  Operations with equal timestamps are genuine ties:
+// on a real machine they could complete in any order, yet the canonical
+// tie-break (lowest id first) means the whole test suite only ever observes
+// ONE legal interleaving per program.  A ScheduleController owns that
+// tie-break decision, so alternative legal grant orders can be explored
+// systematically — and, because every controller is a deterministic
+// function of its spec, any explored run can be recorded and replayed
+// exactly.  The determinism guarantee of the vtime engine therefore
+// becomes: results are a pure function of (program, cost model,
+// controller, seed).
+//
+// Controllers (ControllerKind):
+//   kCanonical      today's (time, id) order; bit-identical to an engine
+//                   with no controller at all.
+//   kSeededShuffle  a seeded RNG permutes every tie-break uniformly, and
+//                   an optional bounded jitter inflates each op's ordering
+//                   key by 0..jitter cycles (a stateless hash of
+//                   (seed, proc, op-index)) so near-ties flip order too —
+//                   exploring the behaviours of nearby cost models.
+//   kPct            probabilistic concurrency testing over tie-breaks:
+//                   each processor gets a random distinct priority, ties
+//                   always go to the highest-priority processor, and at d
+//                   randomly chosen decision points the winner's priority
+//                   drops below everyone else's.  Finds bugs that need one
+//                   processor to be starved/raced at exactly the wrong
+//                   moment (cf. Burckhardt et al., PCT).
+//   kReplay         drives every tie-break from a recorded decision list
+//                   (and recomputes the recorded run's jitter from the
+//                   stored seed/amplitude), reproducing a recorded
+//                   schedule exactly.
+//
+// All controller methods are invoked with the engine mutex held — single
+// threaded from the controller's point of view — and in a deterministic
+// order (the engine only consults the controller at decision points whose
+// candidate sets are host-timing independent; see engine.cpp).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace selfsched::vtime {
+
+enum class ControllerKind : u32 { kCanonical, kSeededShuffle, kPct, kReplay };
+
+const char* controller_kind_name(ControllerKind k);
+
+/// Parse "canonical" | "shuffle" | "pct" | "replay"; nullopt on anything
+/// else.
+std::optional<ControllerKind> parse_controller_kind(const std::string& s);
+
+/// Everything needed to (re)construct a controller.  A spec plus the
+/// program and cost model fully determines a vtime run, so a spec IS a
+/// compact repro.
+struct ScheduleSpec {
+  ControllerKind kind = ControllerKind::kCanonical;
+  /// RNG seed (kSeededShuffle, kPct) and jitter-hash seed (also kReplay,
+  /// so a replayed run reconstructs the recorded run's ordering keys).
+  u64 seed = 0;
+  /// Max extra ordering-key cycles per op, inclusive (kSeededShuffle and,
+  /// via the stored value, kReplay).  Never touches the virtual clocks —
+  /// only the order in which equal-or-nearby-time ops are granted.
+  Cycles jitter = 0;
+  /// kPct: number of priority-change points (the d of PCT).
+  u32 pct_depth = 3;
+  /// kPct: decision-index horizon the change points are drawn from.
+  u64 pct_ops = 1000;
+  /// kReplay: recorded choice-point grants, in decision order.
+  std::vector<ProcId> decisions;
+};
+
+/// Jitter applied to the ordering key of processor `id`'s `k`-th sync op:
+/// uniform in [0, amp] as a stateless hash, so record and replay agree
+/// without sharing RNG state.
+inline Cycles tie_jitter(u64 seed, Cycles amp, ProcId id, u64 k) {
+  if (amp <= 0) return 0;
+  const u64 h = mix64(seed ^ (static_cast<u64>(id) * 0x9e3779b97f4a7c15ULL) ^
+                      (k * 0xbf58476d1ce4e5b9ULL) ^ 0x94d049bb133111ebULL);
+  return static_cast<Cycles>(h % (static_cast<u64>(amp) + 1));
+}
+
+class ScheduleController {
+ public:
+  virtual ~ScheduleController() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Choose among >= 2 simultaneously-eligible pending processors.
+  /// `candidates` is sorted ascending by id; returns an index into it.
+  virtual std::size_t pick(const std::vector<ProcId>& candidates) = 0;
+
+  /// Extra ordering-key cycles for processor `id`'s `op_index`-th sync op
+  /// (0 unless the controller jitters).
+  virtual Cycles jitter(ProcId id, u64 op_index) const {
+    (void)id;
+    (void)op_index;
+    return 0;
+  }
+
+  /// kReplay: true once the live run stopped matching the recorded
+  /// decision trace (the controller then falls back to canonical picks).
+  virtual bool diverged() const { return false; }
+};
+
+/// Build the controller described by `spec` for a `num_procs`-processor
+/// engine.  Returns nullptr for kCanonical: no controller is needed to get
+/// canonical order, and the engine's fast path stays untouched.
+std::unique_ptr<ScheduleController> make_controller(const ScheduleSpec& spec,
+                                                    u32 num_procs);
+
+// ---------------------------------------------------------------------------
+// Repro files: a serialized ScheduleSpec plus opaque tool context (program
+// seed, processor count, ...) that the vtime layer round-trips verbatim.
+// Text format, one "key value" pair per line:
+//
+//   selfsched-repro v1
+//   controller shuffle
+//   seed 42
+//   jitter 2
+//   pct_depth 3
+//   pct_ops 1000
+//   extra program_seed 17
+//   extra procs 5
+//   decisions 3
+//   0 2 1
+//   end
+// ---------------------------------------------------------------------------
+
+struct ReproFile {
+  ScheduleSpec schedule;
+  /// Tool-specific key/value context, preserved in order.
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+std::string serialize_repro(const ReproFile& r);
+
+/// Parse a serialized repro; nullopt (with no partial effects) on any
+/// syntax error or version mismatch.
+std::optional<ReproFile> parse_repro(const std::string& text);
+
+/// File convenience wrappers; false / nullopt on I/O failure.
+bool write_repro_file(const std::string& path, const ReproFile& r);
+std::optional<ReproFile> read_repro_file(const std::string& path);
+
+/// Copy of `s` with the kind flipped to kReplay, keeping seed/jitter and
+/// recorded decisions — the spec that reproduces a recorded run.
+inline ScheduleSpec replay_of(ScheduleSpec s) {
+  s.kind = ControllerKind::kReplay;
+  return s;
+}
+
+}  // namespace selfsched::vtime

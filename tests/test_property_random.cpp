@@ -15,10 +15,11 @@ using selfsched::testing::Recorder;
 using selfsched::testing::normalized;
 
 runtime::Strategy strategy_for_seed(u64 seed) {
-  switch (seed % 4) {
+  switch (seed % 5) {
     case 0: return runtime::Strategy::self();
     case 1: return runtime::Strategy::chunked(static_cast<i64>(seed % 7) + 2);
     case 2: return runtime::Strategy::gss();
+    case 3: return runtime::Strategy::factoring();
     default: return runtime::Strategy::trapezoid();
   }
 }

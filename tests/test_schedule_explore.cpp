@@ -1,0 +1,259 @@
+// Schedule-exploration tests: the pluggable vtime tie-break controllers
+// (vtime/schedule_ctrl.hpp) must (a) preserve canonical results bit-for-bit,
+// (b) keep every explored interleaving faithful to the serial oracle,
+// (c) record schedules that replay to identical event traces, and
+// (d) actually produce distinct legal interleavings of the same program.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "helpers.hpp"
+#include "program/fig1.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/verify.hpp"
+#include "vtime/schedule_ctrl.hpp"
+#include "workloads/programs.hpp"
+
+namespace selfsched {
+namespace {
+
+using runtime::EngineKind;
+using runtime::RunResult;
+using runtime::SchedOptions;
+using vtime::ControllerKind;
+using vtime::ScheduleSpec;
+
+/// Comparable projection of a scheduler event trace (trace/ring.hpp).
+using EventSig =
+    std::tuple<ProcId, u32, LoopId, u64, i64, i64, Cycles, Cycles>;
+
+std::vector<EventSig> event_signature(const RunResult& r) {
+  std::vector<EventSig> out;
+  out.reserve(r.trace_events.size());
+  for (const auto& e : r.trace_events) {
+    out.emplace_back(e.worker, static_cast<u32>(e.kind), e.loop, e.ivec_hash,
+                     e.first, e.count, e.start, e.end);
+  }
+  return out;
+}
+
+RunResult run_random(u64 program_seed, u32 procs, const SchedOptions& opts) {
+  auto prog = workloads::random_program(program_seed, {});
+  return runtime::run_vtime(prog, procs, opts);
+}
+
+// ---------------------------------------------------------------- (a) ----
+
+TEST(ScheduleExplore, CanonicalControllerIsBitIdentical) {
+  // The canonical spec — even with decision recording on, which flips the
+  // engine onto the strict complete-tie-set grant path — must reproduce
+  // the default engine's makespans, op counts and counters exactly.
+  for (const u64 seed : {1ull, 7ull, 23ull, 42ull, 57ull}) {
+    SchedOptions plain;
+    const RunResult a = run_random(seed, 6, plain);
+
+    SchedOptions canon;
+    canon.schedule.kind = ControllerKind::kCanonical;
+    canon.record_schedule = true;
+    const RunResult b = run_random(seed, 6, canon);
+
+    EXPECT_EQ(a.makespan, b.makespan) << "seed=" << seed;
+    EXPECT_EQ(a.engine_ops, b.engine_ops) << "seed=" << seed;
+    EXPECT_EQ(a.total.sync_ops, b.total.sync_ops) << "seed=" << seed;
+    EXPECT_EQ(a.total.dispatches, b.total.dispatches) << "seed=" << seed;
+    EXPECT_EQ(a.counters.lock_acquisitions, b.counters.lock_acquisitions)
+        << "seed=" << seed;
+  }
+}
+
+TEST(ScheduleExplore, CanonicalControllerPreservesFig1EventTrace) {
+  auto run = [](bool record) {
+    program::Fig1Params p;
+    p.ni = 2;
+    p.nj = 2;
+    auto prog = program::make_fig1(p);
+    SchedOptions opts;
+    opts.trace_events = true;
+    opts.record_schedule = record;
+    return runtime::run_vtime(prog, 4, opts);
+  };
+  const RunResult a = run(false);
+  const RunResult b = run(true);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(event_signature(a), event_signature(b));
+}
+
+// ---------------------------------------------------------------- (b) ----
+
+TEST(ScheduleExplore, SweepMatchesSerialOracle) {
+  // Random programs x controllers x schedule seeds: every explored
+  // interleaving must execute the exact serial iteration multiset, leak no
+  // ICBs, and drain the pool (differential_check asserts drainage).
+  for (const u64 seed : {3ull, 11ull, 19ull, 29ull}) {
+    auto builder = [seed](const program::BodyFactory& bodies) {
+      return workloads::random_program(seed, {}, bodies);
+    };
+    SchedOptions opts;
+    opts.pool_shards = 1 + static_cast<u32>(seed % 2);
+    for (const ControllerKind kind :
+         {ControllerKind::kSeededShuffle, ControllerKind::kPct}) {
+      runtime::ScheduleSweep sweep;
+      sweep.schedules = 4;
+      sweep.controller = kind;
+      sweep.base_seed = seed * 100 + 1;
+      sweep.jitter = kind == ControllerKind::kSeededShuffle ? 2 : 0;
+      const auto r = runtime::differential_check(builder, 5,
+                                                 EngineKind::kVtime, opts,
+                                                 sweep);
+      EXPECT_TRUE(r.ok) << "seed=" << seed << " controller="
+                        << vtime::controller_kind_name(kind) << "\n"
+                        << r.detail;
+      EXPECT_EQ(r.schedules_run, 4u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- (d) ----
+
+TEST(ScheduleExplore, ShuffleProducesDistinctLegalInterleavings) {
+  // A tie-heavy program: constant-cost flat Doall under self-scheduling
+  // puts many processors on the same sync variables at the same virtual
+  // times.  At least one shuffle seed must grant ties in a different order
+  // than canonical (distinct decision trace) while still matching the
+  // serial oracle — two distinct legal interleavings of one program.
+  auto builder = [](const program::BodyFactory& bodies) {
+    return workloads::flat_doall(
+        48, [](const IndexVec&, i64) -> Cycles { return 10; },
+        bodies ? bodies("flat") : program::BodyFn{});
+  };
+
+  auto decisions_for = [&](const ScheduleSpec& spec) {
+    auto prog = builder(nullptr);
+    SchedOptions opts;
+    opts.schedule = spec;
+    opts.record_schedule = true;
+    return runtime::run_vtime(prog, 8, opts).schedule_decisions;
+  };
+
+  ScheduleSpec canon;
+  canon.kind = ControllerKind::kCanonical;
+  const auto canonical = decisions_for(canon);
+
+  bool distinct = false;
+  for (u64 seed = 1; seed <= 8 && !distinct; ++seed) {
+    ScheduleSpec spec;
+    spec.kind = ControllerKind::kSeededShuffle;
+    spec.seed = seed;
+    spec.jitter = 1;
+    if (decisions_for(spec) != canonical) {
+      distinct = true;
+      // ... and the shuffled interleaving is still correct.
+      runtime::ScheduleSweep sweep;
+      sweep.schedules = 1;
+      sweep.controller = ControllerKind::kSeededShuffle;
+      sweep.base_seed = seed;
+      sweep.jitter = 1;
+      const auto r = runtime::differential_check(builder, 8,
+                                                 EngineKind::kVtime, {},
+                                                 sweep);
+      EXPECT_TRUE(r.ok) << r.detail;
+    }
+  }
+  EXPECT_TRUE(distinct)
+      << "no shuffle seed in 1..8 changed any tie-break on a tie-heavy "
+         "program";
+}
+
+// ---------------------------------------------------------------- (c) ----
+
+TEST(ScheduleExplore, RecordThenReplayYieldsIdenticalTrace) {
+  for (const u64 seed : {5ull, 13ull, 31ull}) {
+    SchedOptions rec_opts;
+    rec_opts.schedule.kind = ControllerKind::kSeededShuffle;
+    rec_opts.schedule.seed = 1000 + seed;
+    rec_opts.schedule.jitter = 2;
+    rec_opts.record_schedule = true;
+    rec_opts.trace_events = true;
+    const RunResult recorded = run_random(seed, 7, rec_opts);
+
+    SchedOptions rep_opts;
+    rep_opts.schedule = vtime::replay_of(rec_opts.schedule);
+    rep_opts.schedule.decisions = recorded.schedule_decisions;
+    rep_opts.record_schedule = true;
+    rep_opts.trace_events = true;
+    const RunResult replayed = run_random(seed, 7, rep_opts);
+
+    EXPECT_FALSE(replayed.schedule_diverged) << "seed=" << seed;
+    EXPECT_EQ(recorded.makespan, replayed.makespan) << "seed=" << seed;
+    EXPECT_EQ(recorded.engine_ops, replayed.engine_ops) << "seed=" << seed;
+    EXPECT_EQ(recorded.schedule_decisions, replayed.schedule_decisions)
+        << "seed=" << seed;
+    EXPECT_EQ(event_signature(recorded), event_signature(replayed))
+        << "seed=" << seed;
+  }
+}
+
+TEST(ScheduleExplore, PctIsDeterministicPerSpec) {
+  SchedOptions opts;
+  opts.schedule.kind = ControllerKind::kPct;
+  opts.schedule.seed = 99;
+  opts.schedule.pct_depth = 4;
+  opts.record_schedule = true;
+  const RunResult a = run_random(17, 6, opts);
+  const RunResult b = run_random(17, 6, opts);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.engine_ops, b.engine_ops);
+  EXPECT_EQ(a.schedule_decisions, b.schedule_decisions);
+}
+
+// ------------------------------------------------------------ repro I/O --
+
+TEST(ScheduleExplore, ReproFileRoundTrips) {
+  vtime::ReproFile r;
+  r.schedule.kind = ControllerKind::kSeededShuffle;
+  r.schedule.seed = 424242;
+  r.schedule.jitter = 3;
+  r.schedule.pct_depth = 5;
+  r.schedule.pct_ops = 2000;
+  r.schedule.decisions = {0, 3, 1, 7, 2, 2, 0, 5};
+  r.extra.emplace_back("program_seed", "17");
+  r.extra.emplace_back("procs", "8");
+
+  const std::string text = vtime::serialize_repro(r);
+  const auto parsed = vtime::parse_repro(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->schedule.kind, r.schedule.kind);
+  EXPECT_EQ(parsed->schedule.seed, r.schedule.seed);
+  EXPECT_EQ(parsed->schedule.jitter, r.schedule.jitter);
+  EXPECT_EQ(parsed->schedule.pct_depth, r.schedule.pct_depth);
+  EXPECT_EQ(parsed->schedule.pct_ops, r.schedule.pct_ops);
+  EXPECT_EQ(parsed->schedule.decisions, r.schedule.decisions);
+  EXPECT_EQ(parsed->extra, r.extra);
+
+  EXPECT_FALSE(vtime::parse_repro("not a repro").has_value());
+  EXPECT_FALSE(vtime::parse_repro(text.substr(0, text.size() / 2))
+                   .has_value());
+}
+
+TEST(ScheduleExplore, ReplayDivergenceIsReported) {
+  // A replay trace recorded from one schedule but truncated/corrupted must
+  // flag divergence rather than silently exploring something else.
+  SchedOptions rec_opts;
+  rec_opts.schedule.kind = ControllerKind::kSeededShuffle;
+  rec_opts.schedule.seed = 7;
+  rec_opts.record_schedule = true;
+  const RunResult recorded = run_random(23, 6, rec_opts);
+  ASSERT_GT(recorded.schedule_decisions.size(), 1u);
+
+  SchedOptions rep_opts;
+  rep_opts.schedule = vtime::replay_of(rec_opts.schedule);
+  rep_opts.schedule.decisions.assign(
+      recorded.schedule_decisions.begin(),
+      recorded.schedule_decisions.begin() + 1);  // truncated
+  const RunResult replayed = run_random(23, 6, rep_opts);
+  EXPECT_TRUE(replayed.schedule_diverged);
+}
+
+}  // namespace
+}  // namespace selfsched

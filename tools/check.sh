@@ -5,17 +5,38 @@
 #
 #   tools/check.sh            # tier-1 + TSan
 #   tools/check.sh --fast     # tier-1 only
+#   tools/check.sh --explore  # tier-1 + TSan + schedule-sweep fuzz smoke
+#
+# Honors CMAKE_BUILD_PARALLEL_LEVEL for the build/test job count.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+JOBS="${CMAKE_BUILD_PARALLEL_LEVEL:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}"
+
+FAST=0
+EXPLORE=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --explore) EXPLORE=1 ;;
+    *) echo "usage: tools/check.sh [--fast] [--explore]" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: build + full test suite =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-if [[ "${1:-}" == "--fast" ]]; then
+if [[ "$EXPLORE" == 1 ]]; then
+  echo "== explore: schedule-sweep differential fuzz smoke =="
+  ./build/tools/selfsched-fuzz --seeds 1:100 --schedules 4 --quiet \
+      --engine vtime
+  ./build/tools/selfsched-fuzz --seeds 1:50 --schedules 3 --controller pct \
+      --quiet --engine vtime
+fi
+
+if [[ "$FAST" == 1 ]]; then
   echo "== OK (tier-1 only) =="
   exit 0
 fi
