@@ -27,7 +27,8 @@ struct SchedState {
       : prog(&p),
         opts(o),
         pool(o.central_queue ? 1u
-                             : p.num_loops() * std::max(1u, o.pool_shards)),
+                             : p.num_loops() * std::max(1u, o.pool_shards),
+             o.sw_hierarchical),
         bars(o.bar_buckets) {
     outstanding.reset(0);
     done.reset(0);
@@ -56,13 +57,27 @@ struct SchedState {
 };
 
 /// A worker's view of the instance it is currently scheduling from
-/// (Algorithm 3's local variables i, ip, b, loc_indexes).
+/// (Algorithm 3's local variables i, ip, b, loc_indexes), plus the
+/// persistent SEARCH state that survives across dispatch cycles: the
+/// rotating SW scan origin and the last list this worker attached to.
 template <exec::ExecutionContext C>
 struct WorkerCursor {
+  /// Sentinel for search_origin ("not yet seeded") and last_list ("none").
+  static constexpr u32 kNoList = CtxControlWord<C>::kEmpty;
+
   LoopId i = kNoLoop;
   Icb<C>* ip = nullptr;
   i64 b = 0;
   IndexVec ivec;
+
+  /// Where this worker's leading-one-detection starts.  Seeded to
+  /// worker_id * m / P on first SEARCH so the team fans out across the
+  /// lists, then rotated past lists the worker just contended on.
+  u32 search_origin = kNoList;
+  /// Last list this worker attached to (or appended its instance to):
+  /// probed first on the next SEARCH — its ICB and lock are likely still
+  /// in this worker's cache, and distinct workers prefer distinct lists.
+  u32 last_list = kNoList;
 };
 
 /// Simulated per-level cost helper.
@@ -281,20 +296,43 @@ void enter(C& ctx, SchedState<C>& st, LoopId cur, Level level,
 }
 
 // ---------------------------------------------------------------------------
-// SEARCH — Algorithm 4.
+// SEARCH — Algorithm 4, with two scalability refinements over the paper's
+// scan-from-bit-0 discipline (both off under SchedOptions::search_rotate =
+// false, which reproduces the paper exactly):
 //
-// Find an ICB that needs processors, attach to it (pcount increment under
-// the list lock), and fill the worker's cursor.  Returns false when the
-// program has terminated.  Locking discipline per the paper: try-lock the
-// list chosen by leading-one-detection (on failure, re-fetch SW rather than
-// wait); re-test SW(i) under the lock; clear SW(i) while walking so other
-// searchers divert to other lists; restore it before unlocking.
+//   * rotating cursor: each worker's leading-one-detection starts at its
+//     persistent cursor.search_origin (seeded worker_id * m / P, advanced
+//     past any list the worker just contended on), so P searchers spread
+//     across the non-empty lists instead of convoying on the lowest bit;
+//   * local-list-first: the list the worker last attached to is re-probed
+//     with a single-bit test before any SW scan — consecutive dispatch
+//     cycles on the same loop stay on a cache-warm list.
+//
+// Locking discipline per the paper: try-lock the selected list (on
+// failure, re-probe SW rather than wait); re-test SW(i) under the lock;
+// clear SW(i) while walking so other searchers divert to other lists;
+// restore it before unlocking.
 // ---------------------------------------------------------------------------
 template <exec::ExecutionContext C>
 bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
   exec::PhaseScope<C> phase(ctx, exec::Phase::kSearch);
   const Cycles ts = trace::event_begin(ctx);
   i64 walked = 0;  // list nodes examined, reported in the kSearch event
+  const u32 m = st.pool.num_lists();
+  const bool rotate = st.opts.search_rotate;
+  if (cursor.search_origin >= m) {
+    // First SEARCH of this worker: fan the team out across the lists.
+    cursor.search_origin =
+        rotate ? static_cast<u32>(static_cast<u64>(ctx.proc()) * m /
+                                  std::max(1u, ctx.num_procs()))
+               : 0;
+  }
+  // A list we contended on (lock busy, stale bit, or saturated instances):
+  // advance the cursor past it so the next probe spreads elsewhere.
+  const auto rotate_past = [&](u32 i) {
+    if (rotate) cursor.search_origin = (i + 1) % m;
+    if (cursor.last_list == i) cursor.last_list = WorkerCursor<C>::kNoList;
+  };
   sync::Backoff backoff(1, st.opts.idle_backoff_max);
   for (;;) {
     if (ctx.sync_op(st.done, Test::kNE, 0, Op::kFetch).success) {
@@ -302,18 +340,32 @@ bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
                        walked);
       return false;
     }
-    const u32 i = st.pool.sw().leading_one(ctx);
+    trace::bump(ctx, &trace::Counters::search_probes);
+    u32 i;
+    if (rotate && cursor.last_list < m &&
+        st.pool.sw().test(ctx, cursor.last_list)) {
+      i = cursor.last_list;
+    } else {
+      i = st.pool.sw().leading_one(ctx, rotate ? cursor.search_origin : 0);
+    }
     if (i == CtxControlWord<C>::kEmpty) {
+      cursor.last_list = WorkerCursor<C>::kNoList;
       exec::PhaseScope<C> idle(ctx, exec::Phase::kPoolIdle);
       trace::bump(ctx, &trace::Counters::backoff_iterations);
       ctx.pause(backoff.next());
       continue;
     }
-    if (!ctx_try_lock(ctx, st.pool.list_lock(i))) continue;
+    if (!ctx_try_lock(ctx, st.pool.list_lock(i))) {
+      trace::bump(ctx, &trace::Counters::list_lock_failures);
+      rotate_past(i);
+      continue;
+    }
     // Re-test under the lock: the list may have emptied since our fetch
     // (the SW bit we saw was stale).
     if (st.pool.list_head(i) == nullptr) {
       ctx_unlock(ctx, st.pool.list_lock(i));
+      trace::bump(ctx, &trace::Counters::search_retries);
+      rotate_past(i);
       continue;
     }
     st.pool.sw().reset(ctx, i);  // divert other searchers while we walk
@@ -353,6 +405,10 @@ bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
     st.pool.sw().set(ctx, i);
     ctx_unlock(ctx, st.pool.list_lock(i));
     if (attached) {
+      // Remember where we found work: the next SEARCH probes this list
+      // first and scans onward from it.
+      cursor.last_list = i;
+      if (rotate) cursor.search_origin = i;
       ctx.stats().searches++;
       trace::event_end(ctx, ts, trace::EventKind::kSearch, cursor.i,
                        trace::ivec_hash(cursor.ivec,
@@ -360,10 +416,12 @@ bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
                        static_cast<i64>(i), walked);
       return true;
     }
-    // Every listed instance already has as many processors as iterations:
-    // we are effectively surplus.  Back off like an idle processor — an
-    // immediate re-walk would hammer the list lock and starve the owners'
-    // APPEND/DELETE operations.
+    trace::bump(ctx, &trace::Counters::search_retries);
+    rotate_past(i);
+    // Every instance of this list already has as many processors as
+    // iterations: we are effectively surplus here.  Back off like an idle
+    // processor — an immediate re-walk would hammer the list lock and
+    // starve the owners' APPEND/DELETE operations.
     {
       exec::PhaseScope<C> idle(ctx, exec::Phase::kPoolIdle);
       trace::bump(ctx, &trace::Counters::backoff_iterations);

@@ -2,29 +2,106 @@
 
 namespace selfsched::sync {
 
+ControlWord::ControlWord(u32 num_bits, bool hierarchical)
+    : num_bits_(num_bits),
+      num_words_((num_bits + 63) / 64),
+      num_summary_(hierarchical && num_words_ > 1 ? (num_words_ + 63) / 64
+                                                  : 0),
+      words_(num_words_),
+      summary_(num_summary_) {
+  SS_CHECK(num_bits > 0);
+}
+
+void ControlWord::set(u32 i) {
+  SS_DCHECK(i < num_bits_);
+  const u32 w = i >> 6;
+  const u64 before =
+      words_[w]->fetch_or(bit_mask(i), std::memory_order_seq_cst);
+  if (num_summary_ != 0 && before == 0) {
+    // Leaf transitioned empty -> non-empty: publish it one level up.  (A
+    // racing reset() may clear this summary bit; its re-check repairs it.)
+    summary_[w >> 6]->fetch_or(bit_mask(w), std::memory_order_seq_cst);
+  }
+}
+
+void ControlWord::reset(u32 i) {
+  SS_DCHECK(i < num_bits_);
+  const u32 w = i >> 6;
+  const u64 before =
+      words_[w]->fetch_and(~bit_mask(i), std::memory_order_seq_cst);
+  if (num_summary_ == 0 || (before & ~bit_mask(i)) != 0) return;
+  // The leaf went empty: clear its summary bit, then re-check the leaf.  A
+  // set() that slipped between our fetch_and and the summary clear would
+  // otherwise be hidden; re-publishing after the clear closes the race (one
+  // of the two racers always observes the other's leaf update).
+  summary_[w >> 6]->fetch_and(~bit_mask(w), std::memory_order_seq_cst);
+  if (words_[w]->load(std::memory_order_seq_cst) != 0) {
+    summary_[w >> 6]->fetch_or(bit_mask(w), std::memory_order_seq_cst);
+  }
+}
+
+u32 ControlWord::scan_leaf(u32 wi, u64 mask) const {
+  const u64 bits = words_[wi]->load(std::memory_order_seq_cst) & mask;
+  if (bits == 0) return kEmpty;
+  const u32 bit = wi * 64 + static_cast<u32>(std::countr_zero(bits));
+  return bit < num_bits_ ? bit : kEmpty;
+}
+
 u32 ControlWord::leading_one(u32 start) const {
-  const u32 nwords = static_cast<u32>(words_.size());
   if (start >= num_bits_) start = 0;
   const u32 start_word = start >> 6;
-  for (u32 k = 0; k < nwords; ++k) {
-    const u32 wi = (start_word + k) % nwords;
-    u64 w = words_[wi]->load(std::memory_order_seq_cst);
-    if (wi == start_word && k == 0) {
-      // Mask off bits below the rotated origin on the first word; they are
-      // re-examined on the wrap-around pass below.
-      w &= ~u64{0} << (start & 63);
+
+  if (num_summary_ == 0) {
+    // Flat scan, rotated by whole words; bits of the origin word below
+    // `start` are re-examined on the wrap-around pass.
+    for (u32 k = 0; k < num_words_; ++k) {
+      const u32 wi = (start_word + k) % num_words_;
+      const u64 mask = k == 0 ? ~u64{0} << (start & 63) : ~u64{0};
+      const u32 bit = scan_leaf(wi, mask);
+      if (bit != kEmpty) return bit;
     }
-    if (w != 0) {
-      const u32 bit = wi * 64 + static_cast<u32>(std::countr_zero(w));
-      if (bit < num_bits_) return bit;
+    if ((start & 63) != 0) {
+      const u32 bit = scan_leaf(start_word, (u64{1} << (start & 63)) - 1);
+      if (bit != kEmpty) return bit;
     }
+    return kEmpty;
   }
-  // Wrap-around: bits below `start` in the origin word.
-  u64 w = words_[start_word]->load(std::memory_order_seq_cst);
-  w &= (start & 63) ? ((u64{1} << (start & 63)) - 1) : 0;
-  if (w != 0) {
-    const u32 bit = start_word * 64 + static_cast<u32>(std::countr_zero(w));
-    if (bit < num_bits_) return bit;
+
+  // Hierarchical: consult the summary to fetch only populated leaves.  The
+  // rotated walk visits each summary word at most twice (once per monotone
+  // run), so a probe costs one summary fetch + one leaf fetch in the
+  // common case.
+  u32 cached_s = kEmpty;
+  u64 cached_bits = 0;
+  const auto summary_has = [&](u32 wi) {
+    const u32 s = wi >> 6;
+    if (s != cached_s) {
+      cached_s = s;
+      cached_bits = summary_[s]->load(std::memory_order_seq_cst);
+    }
+    return ((cached_bits >> (wi & 63)) & 1) != 0;
+  };
+  for (u32 k = 0; k < num_words_; ++k) {
+    const u32 wi = (start_word + k) % num_words_;
+    if (!summary_has(wi)) continue;
+    const u64 mask = k == 0 ? ~u64{0} << (start & 63) : ~u64{0};
+    const u32 bit = scan_leaf(wi, mask);
+    if (bit != kEmpty) return bit;
+  }
+  if ((start & 63) != 0 && summary_has(start_word)) {
+    const u32 bit = scan_leaf(start_word, (u64{1} << (start & 63)) - 1);
+    if (bit != kEmpty) return bit;
+  }
+
+  // Liveness fallback: the summary is advisory; a set bit whose summary
+  // publication is still in flight (or was lost to a racing reset's clear)
+  // must not be unreachable.  Scan the leaves directly and repair.
+  for (u32 wi = 0; wi < num_words_; ++wi) {
+    const u32 bit = scan_leaf(wi, ~u64{0});
+    if (bit != kEmpty) {
+      summary_[wi >> 6]->fetch_or(bit_mask(wi), std::memory_order_seq_cst);
+      return bit;
+    }
   }
   return kEmpty;
 }

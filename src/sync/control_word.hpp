@@ -1,12 +1,22 @@
 // The m-bit control word SW of the task pool (§III-A, Fig. 7): bit i is 1
 // when the i-th parallel linked list is non-empty.  The paper's hardware has
 // a leading-one-detection instruction; we provide the same operation over a
-// multi-word atomic bitset with std::countl_zero, so m may exceed the
+// multi-word atomic bitset with std::countr_zero, so m may exceed the
 // machine word size.
 //
+// For m > 64 the word is *hierarchical*: a summary level holds one bit per
+// 64-bit leaf word (bit w set while leaf w has any set bit), so a searcher
+// fetches one summary word and then exactly one candidate leaf instead of
+// scanning every leaf — the leading-one cost is O(1) fetches for any m up
+// to 4096 rather than O(m/64).  Leaves are cache-line padded: lists owned
+// by different loops publish on different lines.
+//
 // SW is advisory: the paper's SEARCH re-validates under the list lock after
-// selecting a list, so a stale bit costs a retry, never correctness.  That
-// lets every bit operation be a single relaxed-ish RMW on one word.
+// selecting a list, so a stale bit costs a retry, never correctness.  The
+// summary is maintained with a clear/re-check repair step on reset (see
+// reset()), and leading_one() falls back to a direct leaf scan — repairing
+// the summary — when the summary reads empty, so a momentarily stale
+// summary can never hide work forever.
 #pragma once
 
 #include <atomic>
@@ -25,24 +35,19 @@ class ControlWord {
   /// paper's "failure" signal of the Fetch on SW.
   static constexpr u32 kEmpty = 0xffffffffu;
 
-  explicit ControlWord(u32 num_bits)
-      : num_bits_(num_bits), words_((num_bits + 63) / 64) {
-    SS_CHECK(num_bits > 0);
-  }
+  /// @param hierarchical  maintain the summary level when the word spans
+  ///   more than one 64-bit leaf; false reproduces the flat multi-word
+  ///   scan (the ablation baseline).  Irrelevant for num_bits <= 64.
+  explicit ControlWord(u32 num_bits, bool hierarchical = true);
 
   u32 size() const { return num_bits_; }
+  bool hierarchical() const { return num_summary_ != 0; }
 
   /// SW(i) = 1.
-  void set(u32 i) {
-    SS_DCHECK(i < num_bits_);
-    words_[i >> 6]->fetch_or(bit_mask(i), std::memory_order_seq_cst);
-  }
+  void set(u32 i);
 
   /// SW(i) = 0.
-  void reset(u32 i) {
-    SS_DCHECK(i < num_bits_);
-    words_[i >> 6]->fetch_and(~bit_mask(i), std::memory_order_seq_cst);
-  }
+  void reset(u32 i);
 
   bool test(u32 i) const {
     SS_DCHECK(i < num_bits_);
@@ -50,11 +55,11 @@ class ControlWord {
            0;
   }
 
-  /// Leading-one-detection: index of the first set bit (lowest loop number,
-  /// i.e. topmost innermost parallel loop), or kEmpty if all clear.
-  /// `start` rotates the scan origin so different processors prefer
-  /// different lists, spreading contention (an implementation refinement;
-  /// with start=0 this is exactly the paper's operation).
+  /// Leading-one-detection: index of the first set bit at or after `start`,
+  /// wrapping, or kEmpty if all clear.  `start` rotates the scan origin so
+  /// different processors prefer different lists, spreading contention (an
+  /// implementation refinement; with start=0 this is exactly the paper's
+  /// operation — lowest loop number, i.e. topmost innermost parallel loop).
   u32 leading_one(u32 start = 0) const;
 
   /// Number of set bits (diagnostics/tests only).
@@ -63,10 +68,17 @@ class ControlWord {
  private:
   static constexpr u64 bit_mask(u32 i) { return u64{1} << (i & 63); }
 
+  /// First set bit of leaf `wi` under `mask`, or kEmpty.
+  u32 scan_leaf(u32 wi, u64 mask) const;
+
   u32 num_bits_;
-  // Padded words: lists owned by different loops update different words
-  // without false sharing (for m <= 64 there is a single word anyway).
+  u32 num_words_;
+  u32 num_summary_;  // summary words; 0 => flat (no summary level)
+  // Padded leaves: lists owned by different loops update different lines.
   std::vector<CachePadded<std::atomic<u64>>> words_;
+  // Summary: bit w of word s set while leaf s*64+w is non-empty.  Mutable
+  // because leading_one() repairs lost summary bits on its fallback path.
+  mutable std::vector<CachePadded<std::atomic<u64>>> summary_;
 };
 
 }  // namespace selfsched::sync

@@ -14,6 +14,14 @@ struct Counters {
   u64 dispatches = 0;          // successful low-level grabs (chunks)
   u64 cas_retries = 0;         // GSS/factoring fetch-then-CAS interference
   u64 sw_scans = 0;            // SW leading-one-detection invocations
+  u64 sw_summary_repairs = 0;  // hierarchical-SW fallback scans that healed
+                               // a stale summary bit
+  u64 search_probes = 0;       // SEARCH list-selection probes (local-list
+                               // test or leading-one scan)
+  u64 search_retries = 0;      // SEARCH rounds that selected a list but
+                               // came away without attaching (stale bit or
+                               // every instance saturated)
+  u64 list_lock_failures = 0;  // failed try-locks on task-pool list locks
   u64 lock_acquisitions = 0;   // paper-lock acquisitions (list locks et al.)
   u64 backoff_iterations = 0;  // pause() calls across all spin loops
   u64 pool_appends = 0;        // ICBs appended to the task pool
@@ -26,6 +34,10 @@ struct Counters {
     fn("dispatches", &Counters::dispatches);
     fn("cas_retries", &Counters::cas_retries);
     fn("sw_scans", &Counters::sw_scans);
+    fn("sw_summary_repairs", &Counters::sw_summary_repairs);
+    fn("search_probes", &Counters::search_probes);
+    fn("search_retries", &Counters::search_retries);
+    fn("list_lock_failures", &Counters::list_lock_failures);
     fn("lock_acquisitions", &Counters::lock_acquisitions);
     fn("backoff_iterations", &Counters::backoff_iterations);
     fn("pool_appends", &Counters::pool_appends);

@@ -174,18 +174,101 @@ TEST(TaskPool, DeleteMiddleHeadTail) {
 
 TEST(TaskPool, ManyListsIndependent) {
   RContext ctx(0, 1);
-  TaskPool<RContext> pool(130);  // multi-word SW
-  IcbPool<RContext> icbs;
-  Icb<RContext>* a = icbs.acquire(ctx);
-  a->init(129, 1, iv({}), false);
-  pool.append(ctx, 129, a);
-  EXPECT_EQ(pool.sw().leading_one(ctx), 129u);
-  Icb<RContext>* b = icbs.acquire(ctx);
-  b->init(5, 1, iv({}), false);
-  pool.append(ctx, 5, b);
-  EXPECT_EQ(pool.sw().leading_one(ctx), 5u);
-  pool.delete_icb(ctx, 5, b);
-  EXPECT_EQ(pool.sw().leading_one(ctx), 129u);
+  for (const bool hier : {true, false}) {
+    TaskPool<RContext> pool(130, hier);  // multi-word SW
+    IcbPool<RContext> icbs;
+    Icb<RContext>* a = icbs.acquire(ctx);
+    a->init(129, 1, iv({}), false);
+    pool.append(ctx, 129, a);
+    EXPECT_EQ(pool.sw().leading_one(ctx), 129u);
+    Icb<RContext>* b = icbs.acquire(ctx);
+    b->init(5, 1, iv({}), false);
+    pool.append(ctx, 5, b);
+    EXPECT_EQ(pool.sw().leading_one(ctx), 5u);
+    pool.delete_icb(ctx, 5, b);
+    EXPECT_EQ(pool.sw().leading_one(ctx), 129u);
+    pool.delete_icb(ctx, 129, a);
+    EXPECT_TRUE(pool.empty());
+  }
+}
+
+// -------------------------------------------------------- CtxControlWord --
+
+TEST(CtxControlWord, LeafBoundaryBits) {
+  // Bits 63/64/65 straddle the first leaf-word boundary; the context-side
+  // SW must behave identically with and without the summary level.
+  RContext ctx(0, 1);
+  for (const bool hier : {false, true}) {
+    CtxControlWord<RContext> sw(130, hier);
+    EXPECT_EQ(sw.hierarchical(), hier);
+    for (const u32 bit : {63u, 64u, 65u}) {
+      sw.set(ctx, bit);
+      EXPECT_TRUE(sw.test(ctx, bit)) << "bit=" << bit << " hier=" << hier;
+    }
+    EXPECT_EQ(sw.leading_one(ctx), 63u);
+    sw.reset(ctx, 63);
+    EXPECT_FALSE(sw.test(ctx, 63));
+    EXPECT_EQ(sw.leading_one(ctx), 64u);
+    sw.reset(ctx, 64);
+    EXPECT_EQ(sw.leading_one(ctx), 65u);
+    EXPECT_EQ(sw.leading_one(ctx, 66), 65u) << "wrap across the boundary";
+    sw.reset(ctx, 65);
+    EXPECT_EQ(sw.leading_one(ctx), CtxControlWord<RContext>::kEmpty);
+  }
+}
+
+TEST(CtxControlWord, SingleWordNeverGrowsASummary) {
+  RContext ctx(0, 1);
+  CtxControlWord<RContext> small(64, /*hierarchical=*/true);
+  EXPECT_FALSE(small.hierarchical());
+  CtxControlWord<RContext> big(65, /*hierarchical=*/true);
+  EXPECT_TRUE(big.hierarchical());
+  big.set(ctx, 64);
+  EXPECT_EQ(big.leading_one(ctx), 64u);
+}
+
+TEST(CtxControlWord, RaggedTailAndRotation) {
+  RContext ctx(0, 1);
+  for (const bool hier : {false, true}) {
+    CtxControlWord<RContext> sw(130, hier);
+    sw.set(ctx, 129);
+    EXPECT_EQ(sw.leading_one(ctx), 129u);
+    EXPECT_EQ(sw.leading_one(ctx, 129), 129u);
+    sw.set(ctx, 2);
+    EXPECT_EQ(sw.leading_one(ctx, 3), 129u);
+    sw.reset(ctx, 129);
+    EXPECT_EQ(sw.leading_one(ctx, 3), 2u) << "wrap from the ragged tail";
+  }
+}
+
+TEST(CtxControlWord, HierarchicalMatchesFlatOnRandomOps) {
+  // The summary level is an accelerator, not a semantic change: one
+  // deterministic op stream, identical observable state throughout.
+  RContext ctx(0, 1);
+  constexpr u32 kBits = 200;
+  CtxControlWord<RContext> flat(kBits, /*hierarchical=*/false);
+  CtxControlWord<RContext> hier(kBits, /*hierarchical=*/true);
+  u64 rng = 0x243f6a8885a308d3ull;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int step = 0; step < 3000; ++step) {
+    const u32 bit = static_cast<u32>(next() % kBits);
+    if (next() % 3 != 0) {
+      flat.set(ctx, bit);
+      hier.set(ctx, bit);
+    } else {
+      flat.reset(ctx, bit);
+      hier.reset(ctx, bit);
+    }
+    const u32 start = static_cast<u32>(next() % kBits);
+    ASSERT_EQ(flat.leading_one(ctx, start), hier.leading_one(ctx, start))
+        << "step=" << step << " start=" << start;
+    ASSERT_EQ(flat.test(ctx, bit), hier.test(ctx, bit)) << "step=" << step;
+  }
 }
 
 // ------------------------------------------------------------ Strategies --
@@ -263,6 +346,129 @@ TEST(Strategy, TrapezoidDecreasesLinearly) {
     EXPECT_LE(sizes[i], sizes[i - 1]);
   }
   EXPECT_GE(sizes.back(), 1);
+}
+
+// Closed-form chunk sequence of strategy `s` draining bound `b` with no
+// interference (single processor drains, so Fetch-then-CAS never retries):
+// the analytic forms from §II-C / §IV that dispatch_iterations must match
+// grab for grab.
+std::vector<i64> closed_form(i64 b, const Strategy& s, u32 procs) {
+  const i64 p = static_cast<i64>(procs);
+  std::vector<i64> out;
+  i64 index = 1;  // iterations are 1-based
+  i64 n = 0;      // dispatch sequence number (trapezoid)
+  while (index <= b) {
+    const i64 remaining = b - index + 1;
+    i64 want = 0;
+    switch (s.kind) {
+      case Strategy::Kind::kSelf:
+        want = 1;
+        break;
+      case Strategy::Kind::kChunk:
+        want = s.chunk;
+        break;
+      case Strategy::Kind::kGSS:
+        want = std::max(s.chunk, (remaining + p - 1) / p);
+        break;
+      case Strategy::Kind::kFactoring:
+        want = std::max(s.chunk, (remaining + 2 * p - 1) / (2 * p));
+        break;
+      case Strategy::Kind::kTrapezoid: {
+        const i64 first =
+            s.tss_first > 0 ? s.tss_first : std::max<i64>(1, b / (2 * p));
+        const i64 avg = std::max<i64>(1, (first + s.tss_last) / 2);
+        const i64 nd = std::max<i64>(1, (b + avg - 1) / avg);
+        const i64 delta =
+            nd > 1 ? std::max<i64>(0, (first - s.tss_last) / (nd - 1)) : 0;
+        want = std::max(s.tss_last, first - n * delta);
+        break;
+      }
+    }
+    out.push_back(std::min(want, remaining));
+    index += want;
+    ++n;
+  }
+  return out;
+}
+
+i64 sum(const std::vector<i64>& v) {
+  i64 s = 0;
+  for (i64 x : v) s += x;
+  return s;
+}
+
+TEST(Strategy, GssExactSequence) {
+  // b=20, P=4: ceil(20/4)=5, ceil(15/4)=4, ceil(11/4)=3, ceil(8/4)=2,
+  // ceil(6/4)=2, then 1s — and the closed form at scale.
+  EXPECT_EQ(drain(20, Strategy::gss(), 4),
+            (std::vector<i64>{5, 4, 3, 2, 2, 1, 1, 1, 1}));
+  EXPECT_EQ(drain(100, Strategy::gss(), 4),
+            closed_form(100, Strategy::gss(), 4));
+}
+
+TEST(Strategy, GssMinChunkExactSequence) {
+  // min_chunk=8 floors the tail: 25,19,14,11,8 then max(8,·) until the
+  // final short grab of the 7 leftover iterations.
+  EXPECT_EQ(drain(100, Strategy::gss(8), 4),
+            (std::vector<i64>{25, 19, 14, 11, 8, 8, 8, 7}));
+}
+
+TEST(Strategy, FactoringExactSequence) {
+  // b=20, P=2: divisor 2P=4 gives the same decrease as GSS at P=4.
+  EXPECT_EQ(drain(20, Strategy::factoring(), 2),
+            (std::vector<i64>{5, 4, 3, 2, 2, 1, 1, 1, 1}));
+  EXPECT_EQ(drain(256, Strategy::factoring(), 4),
+            closed_form(256, Strategy::factoring(), 4));
+}
+
+TEST(Strategy, TrapezoidExactSequence) {
+  // first=16, last=2, b=128, P=4: avg=9, N=ceil(128/9)=15,
+  // delta=(16-2)/14=1 — chunks decrease by one per dispatch until the
+  // bound clamps the final grab.
+  EXPECT_EQ(drain(128, Strategy::trapezoid(16, 2), 4),
+            (std::vector<i64>{16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 2}));
+}
+
+TEST(Strategy, TrapezoidAutoFirstChunk) {
+  // tss_first=0 selects first = b/(2P) = 128/8 = 16 (Tzen/Ni's conservative
+  // default), decreasing to last=1.
+  const auto sizes = drain(128, Strategy::trapezoid(0, 1), 4);
+  EXPECT_EQ(sizes.front(), 16);
+  EXPECT_EQ(sizes,
+            (std::vector<i64>{16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 2}));
+  EXPECT_EQ(sizes, closed_form(128, Strategy::trapezoid(0, 1), 4));
+}
+
+TEST(Strategy, TrapezoidBoundSmallerThanLastChunk) {
+  // b=3 with trapezoid(8,4): the single dispatch wants 8 but the bound
+  // clamps it to the whole loop.
+  EXPECT_EQ(drain(3, Strategy::trapezoid(8, 4), 4), (std::vector<i64>{3}));
+  // Tiny auto-first: b < 2P makes first = max(1, b/(2P)) = 1.
+  EXPECT_EQ(drain(3, Strategy::trapezoid(0, 1), 4),
+            (std::vector<i64>{1, 1, 1}));
+}
+
+TEST(Strategy, AllKindsMatchClosedFormAndCoverBound) {
+  // Sweep every strategy kind across bounds and processor counts: the
+  // dispatched sequence must equal the analytic sequence grab for grab and
+  // sum exactly to the bound (drain() additionally asserts no iteration is
+  // dispatched twice).
+  const std::vector<Strategy> strategies = {
+      Strategy::self(),          Strategy::chunked(4),
+      Strategy::gss(),           Strategy::gss(8),
+      Strategy::factoring(),     Strategy::factoring(3),
+      Strategy::trapezoid(16, 2), Strategy::trapezoid(0, 1),
+  };
+  for (const i64 b : {1, 7, 64, 100, 333, 1000}) {
+    for (const u32 procs : {1u, 2u, 4u, 8u}) {
+      for (const auto& s : strategies) {
+        const auto want = closed_form(b, s, procs);
+        const auto got = drain(b, s, procs);
+        EXPECT_EQ(got, want) << s.name() << " b=" << b << " P=" << procs;
+        EXPECT_EQ(sum(got), b) << s.name() << " b=" << b << " P=" << procs;
+      }
+    }
+  }
 }
 
 TEST(Strategy, ExhaustedIcbYieldsZero) {

@@ -5,10 +5,12 @@
 // (d) actually produce distinct legal interleavings of the same program.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "helpers.hpp"
+#include "program/ast.hpp"
 #include "program/fig1.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/verify.hpp"
@@ -41,6 +43,25 @@ std::vector<EventSig> event_signature(const RunResult& r) {
 RunResult run_random(u64 program_seed, u32 procs, const SchedOptions& opts) {
   auto prog = workloads::random_program(program_seed, {});
   return runtime::run_vtime(prog, procs, opts);
+}
+
+/// Outer Par of `width` instances over `loops` tiny innermost Doalls: every
+/// worker churns through many short instances, so APPENDs and DELETEs (which
+/// clear SW(i) for the duration of the list surgery, Algorithms 1-2) race
+/// SEARCHes continuously.  With pool_shards=2 and loops > 32 the SW spans
+/// multiple leaf words, exercising the hierarchical summary level too.
+program::NestedLoopProgram wide_program(u32 loops, i64 width,
+                                        const program::BodyFactory& bodies) {
+  program::NodeSeq inner;
+  for (u32 l = 0; l < loops; ++l) {
+    const std::string name = "w" + std::to_string(l);
+    inner.push_back(program::doall(
+        name, 2, bodies ? bodies(name) : program::BodyFn{},
+        [](const IndexVec&, i64) -> Cycles { return 3; }));
+  }
+  program::NodeSeq top;
+  top.push_back(program::par(width, std::move(inner)));
+  return program::NestedLoopProgram(std::move(top));
 }
 
 // ---------------------------------------------------------------- (a) ----
@@ -112,6 +133,69 @@ TEST(ScheduleExplore, SweepMatchesSerialOracle) {
       EXPECT_EQ(r.schedules_run, 4u);
     }
   }
+}
+
+TEST(ScheduleExplore, SearchSurvivesTransientSwClearWindow) {
+  // The transient SW(i)=0 window: APPEND and DELETE clear bit i while they
+  // splice list i, so a SEARCH probing at that instant sees "empty" and
+  // must divert to another list — never park an instance forever and never
+  // grant the same iteration twice.  Sweep explored interleavings of a
+  // churn-heavy wide program across the full SW configuration matrix
+  // (flat/hierarchical x bit-0/rotating cursors, sharded so the word spans
+  // two leaf words) and hold every run to the serial oracle:
+  // differential_check asserts the exact iteration multiset (nothing lost,
+  // nothing double-granted), ICB release accounting, and a drained pool.
+  auto builder = [](const program::BodyFactory& bodies) {
+    return wide_program(36, 3, bodies);
+  };
+  for (const bool hier : {false, true}) {
+    for (const bool rotate : {false, true}) {
+      SchedOptions opts;
+      opts.sw_hierarchical = hier;
+      opts.search_rotate = rotate;
+      opts.pool_shards = 2;  // 72 SW bits: leaf-boundary lists included
+      for (const ControllerKind kind :
+           {ControllerKind::kSeededShuffle, ControllerKind::kPct}) {
+        runtime::ScheduleSweep sweep;
+        sweep.schedules = 2;
+        sweep.controller = kind;
+        sweep.base_seed = 7u + (hier ? 100u : 0u) + (rotate ? 10u : 0u);
+        sweep.jitter = kind == ControllerKind::kSeededShuffle ? 2 : 0;
+        const auto r = runtime::differential_check(builder, 6,
+                                                   EngineKind::kVtime, opts,
+                                                   sweep);
+        EXPECT_TRUE(r.ok)
+            << "hier=" << hier << " rotate=" << rotate << " controller="
+            << vtime::controller_kind_name(kind) << "\n" << r.detail;
+        EXPECT_EQ(r.schedules_run, 2u);
+      }
+    }
+  }
+}
+
+TEST(ScheduleExplore, HierarchicalSwKeepsCanonicalRunsBitIdentical) {
+  // Determinism across the SW swap: with >64 lists (summary level active)
+  // and rotating cursors, two canonical vtime runs of the same program must
+  // stay bit-identical — the hierarchical SW and per-worker cursors are
+  // deterministic state machines, not a nondeterminism source.
+  auto run = [] {
+    auto prog = wide_program(36, 3, nullptr);
+    SchedOptions opts;
+    opts.pool_shards = 2;
+    opts.record_schedule = true;
+    return runtime::run_vtime(prog, 8, opts);
+  };
+  const RunResult a = run();
+  const RunResult b = run();
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.engine_ops, b.engine_ops);
+  EXPECT_EQ(a.total.sync_ops, b.total.sync_ops);
+  EXPECT_EQ(a.schedule_decisions, b.schedule_decisions);
+  EXPECT_EQ(a.counters.sw_scans, b.counters.sw_scans);
+  EXPECT_EQ(a.counters.search_probes, b.counters.search_probes);
+  EXPECT_EQ(a.counters.search_retries, b.counters.search_retries);
+  EXPECT_EQ(a.counters.list_lock_failures, b.counters.list_lock_failures);
+  EXPECT_EQ(a.counters.sw_summary_repairs, b.counters.sw_summary_repairs);
 }
 
 // ---------------------------------------------------------------- (d) ----

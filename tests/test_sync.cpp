@@ -200,6 +200,129 @@ TEST(ControlWord, OutOfRangeStartIsNormalized) {
   EXPECT_EQ(sw.leading_one(9999), 7u);
 }
 
+TEST(ControlWord, SingleWordNeverGrowsASummary) {
+  // m <= 64 is the paper's machine: one leading-one instruction, no
+  // summary level even when hierarchical construction is requested.
+  ControlWord sw(64, /*hierarchical=*/true);
+  EXPECT_FALSE(sw.hierarchical());
+  ControlWord big(65, /*hierarchical=*/true);
+  EXPECT_TRUE(big.hierarchical());
+  ControlWord flat(65, /*hierarchical=*/false);
+  EXPECT_FALSE(flat.hierarchical());
+}
+
+TEST(ControlWord, LeafBoundaryBits) {
+  // Bits 63/64/65 straddle the first leaf-word boundary: set/reset/
+  // leading-one must agree across it in both flat and hierarchical modes.
+  for (const bool hier : {false, true}) {
+    ControlWord sw(130, hier);
+    EXPECT_EQ(sw.hierarchical(), hier);
+    for (const u32 bit : {63u, 64u, 65u}) {
+      sw.set(bit);
+      EXPECT_TRUE(sw.test(bit)) << "bit=" << bit << " hier=" << hier;
+    }
+    EXPECT_EQ(sw.popcount(), 3u);
+    EXPECT_EQ(sw.leading_one(), 63u);
+    sw.reset(63);
+    EXPECT_FALSE(sw.test(63));
+    EXPECT_EQ(sw.leading_one(), 64u);
+    sw.reset(64);
+    EXPECT_EQ(sw.leading_one(), 65u);
+    EXPECT_EQ(sw.leading_one(66), 65u) << "wrap must cross the boundary";
+    sw.reset(65);
+    EXPECT_EQ(sw.leading_one(), ControlWord::kEmpty);
+    EXPECT_EQ(sw.popcount(), 0u);
+  }
+}
+
+TEST(ControlWord, SizeNotAMultipleOfWordSize) {
+  // m = 130: three leaves, the last holding only two live bits — the top
+  // bit must be reachable, and a rotated origin inside the ragged leaf
+  // must wrap cleanly.
+  for (const bool hier : {false, true}) {
+    ControlWord sw(130, hier);
+    sw.set(129);
+    EXPECT_EQ(sw.leading_one(), 129u);
+    EXPECT_EQ(sw.leading_one(129), 129u);
+    sw.set(0);
+    EXPECT_EQ(sw.leading_one(129), 129u);
+    sw.reset(129);
+    EXPECT_EQ(sw.leading_one(129), 0u) << "wrap from the ragged tail";
+  }
+}
+
+TEST(ControlWord, RotatedOriginAcrossLeaves) {
+  for (const bool hier : {false, true}) {
+    ControlWord sw(256, hier);
+    sw.set(5);
+    sw.set(200);
+    EXPECT_EQ(sw.leading_one(64), 200u);
+    EXPECT_EQ(sw.leading_one(200), 200u);
+    EXPECT_EQ(sw.leading_one(201), 5u);
+    sw.reset(200);
+    EXPECT_EQ(sw.leading_one(64), 5u);
+  }
+}
+
+TEST(ControlWord, HierarchicalMatchesFlatOnRandomOps) {
+  // Differential check: the summary level is an accelerator, not a
+  // semantic change.  Apply one deterministic op stream to a flat and a
+  // hierarchical word and require identical observable state throughout.
+  constexpr u32 kBits = 300;
+  ControlWord flat(kBits, /*hierarchical=*/false);
+  ControlWord hier(kBits, /*hierarchical=*/true);
+  u64 rng = 0x9e3779b97f4a7c15ull;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int step = 0; step < 4000; ++step) {
+    const u32 bit = static_cast<u32>(next() % kBits);
+    if (next() % 3 != 0) {
+      flat.set(bit);
+      hier.set(bit);
+    } else {
+      flat.reset(bit);
+      hier.reset(bit);
+    }
+    const u32 start = static_cast<u32>(next() % kBits);
+    ASSERT_EQ(flat.leading_one(start), hier.leading_one(start))
+        << "step=" << step << " start=" << start;
+    ASSERT_EQ(flat.test(bit), hier.test(bit)) << "step=" << step;
+    ASSERT_EQ(flat.popcount(), hier.popcount()) << "step=" << step;
+  }
+}
+
+TEST(ControlWord, HierarchicalSetVisibleUnderContention) {
+  // Threads hammer set/reset on disjoint bit ranges spanning several
+  // leaves while a scanner polls leading_one(); every bit a thread leaves
+  // set must be found (the advisory summary may only cost retries).
+  ControlWord sw(256, /*hierarchical=*/true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&sw, t] {
+      const u32 base = static_cast<u32>(t) * 64;
+      for (int round = 0; round < 2000; ++round) {
+        const u32 bit = base + static_cast<u32>(round % 64);
+        sw.set(bit);
+        sw.reset(bit);
+      }
+      sw.set(base + 63);  // leave exactly one survivor per range
+    });
+  }
+  for (auto& t : ts) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    const u32 survivor = static_cast<u32>(t) * 64 + 63;
+    EXPECT_TRUE(sw.test(survivor));
+    EXPECT_EQ(sw.leading_one(survivor), survivor);
+  }
+  EXPECT_EQ(sw.leading_one(), 63u);
+  EXPECT_EQ(sw.popcount(), 4u);
+}
+
 // --------------------------------------------------------- Lock/Semaphore --
 
 TEST(SpinLock, MutualExclusionUnderContention) {

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Runs the SEARCH-scalability bench (virtual-time: deterministic, exact,
+host-independent) plus the real-hardware overhead microbench (informational
+only: wall-clock, noisy), folds both into BENCH_search.json, and compares
+the gated metrics against a committed baseline.
+
+  tools/bench_gate.py                         # run, write, compare
+  tools/bench_gate.py --update-baseline       # refresh the baseline
+  tools/bench_gate.py --max-procs 4 --skip-gbench   # quick smoke
+
+Only metrics with "gate": true participate in the comparison; all of them
+come from the vtime engine, whose virtual-cycle makespans are bit-identical
+on any machine, so a >tolerance delta is a real code regression, not noise.
+See docs/benchmarking.md for the schema and the refresh workflow.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+SCHEMA = "selfsched-bench/v1"
+
+
+def run_search_bench(build_dir, max_procs, tmp_path):
+    exe = os.path.join(build_dir, "bench", "bench_search_scale")
+    if not os.path.exists(exe):
+        sys.exit(f"bench_gate: {exe} not built (cmake --build {build_dir})")
+    subprocess.run([exe, "--json", tmp_path, "--max-procs", str(max_procs)],
+                   check=True, stdout=subprocess.DEVNULL)
+    with open(tmp_path) as f:
+        data = json.load(f)
+    os.unlink(tmp_path)
+    return data["metrics"]
+
+
+def run_overhead_bench(build_dir):
+    """google-benchmark wall-clock numbers: informational, never gated."""
+    exe = os.path.join(build_dir, "bench", "bench_overheads")
+    if not os.path.exists(exe):
+        print(f"bench_gate: note: {exe} not built, skipping overhead bench")
+        return []
+    proc = subprocess.run(
+        [exe, "--benchmark_format=json", "--benchmark_min_time=0.05"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("bench_gate: note: bench_overheads failed, skipping:"
+              f" {proc.stderr.strip()[:200]}")
+        return []
+    metrics = []
+    for b in json.loads(proc.stdout).get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        metrics.append({
+            "name": f"overheads/{b['name']}/real_time",
+            "value": b["real_time"],
+            "unit": b.get("time_unit", "ns"),
+            "better": "less",
+            "deterministic": False,
+            "gate": False,
+        })
+    return metrics
+
+
+def compare(baseline, current, tolerance):
+    """Return (regressions, improvements, compared) over gated metrics."""
+    base = {m["name"]: m for m in baseline["metrics"] if m.get("gate")}
+    cur = {m["name"]: m for m in current["metrics"] if m.get("gate")}
+    regressions, improvements, compared = [], [], 0
+    for name in sorted(base.keys() & cur.keys()):
+        old, new = base[name], cur[name]
+        compared += 1
+        if old["value"] == 0:
+            continue
+        ratio = new["value"] / old["value"]
+        # "less" metrics regress upward, "more" metrics regress downward.
+        delta = ratio - 1.0 if old["better"] == "less" else 1.0 - ratio
+        entry = (name, old["value"], new["value"], delta)
+        if delta > tolerance:
+            regressions.append(entry)
+        elif delta < -tolerance:
+            improvements.append(entry)
+    only_base = sorted(base.keys() - cur.keys())
+    only_cur = sorted(cur.keys() - base.keys())
+    return regressions, improvements, compared, only_base, only_cur
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline", default="BENCH_search.json",
+                    help="committed baseline to compare against")
+    ap.add_argument("--out", default=None,
+                    help="write the fresh results here "
+                         "(default: BENCH_search.new.json)")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional regression on gated metrics")
+    ap.add_argument("--max-procs", type=int, default=8,
+                    help="cap of the simulated-processor sweep; must match "
+                         "the baseline's for a full comparison")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="overwrite --baseline with fresh results and exit")
+    ap.add_argument("--skip-gbench", action="store_true",
+                    help="skip the wall-clock overhead bench (informational "
+                         "metrics only)")
+    args = ap.parse_args()
+
+    metrics = run_search_bench(args.build_dir, args.max_procs,
+                               os.path.join(args.build_dir,
+                                            "bench_search_tmp.json"))
+    if not args.skip_gbench:
+        metrics += run_overhead_bench(args.build_dir)
+
+    current = {"schema": SCHEMA, "max_procs": args.max_procs,
+               "metrics": metrics}
+
+    if args.update_baseline:
+        # The committed baseline must be machine-independent: keep only the
+        # deterministic (vtime) metrics, never wall-clock ones.
+        kept = [m for m in metrics if m["deterministic"]]
+        with open(args.baseline, "w") as f:
+            json.dump({"schema": SCHEMA, "max_procs": args.max_procs,
+                       "metrics": kept}, f, indent=1)
+            f.write("\n")
+        gated = sum(1 for m in kept if m["gate"])
+        print(f"bench_gate: wrote {args.baseline} "
+              f"({len(kept)} metrics, {gated} gated)")
+        return 0
+
+    out = args.out or "BENCH_search.new.json"
+    with open(out, "w") as f:
+        json.dump(current, f, indent=1)
+        f.write("\n")
+    print(f"bench_gate: wrote {out} ({len(metrics)} metrics)")
+
+    if not os.path.exists(args.baseline):
+        sys.exit(f"bench_gate: baseline {args.baseline} not found — run "
+                 "with --update-baseline to create it")
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    if baseline.get("schema") != SCHEMA:
+        sys.exit(f"bench_gate: baseline schema {baseline.get('schema')!r} "
+                 f"!= {SCHEMA!r}; refresh with --update-baseline")
+
+    regs, imps, compared, only_base, only_cur = compare(
+        baseline, current, args.tolerance)
+    print(f"bench_gate: compared {compared} gated metrics "
+          f"(tolerance {args.tolerance:.0%})")
+    if only_base:
+        print(f"bench_gate: note: {len(only_base)} baseline metrics not in "
+              f"this run (first: {only_base[0]}) — smoke sweep?")
+    if only_cur:
+        print(f"bench_gate: note: {len(only_cur)} new metrics not in the "
+              f"baseline (first: {only_cur[0]}) — refresh the baseline")
+    for name, old, new, delta in imps:
+        print(f"  IMPROVED  {name}: {old:g} -> {new:g} ({delta:+.1%})")
+    for name, old, new, delta in regs:
+        print(f"  REGRESSED {name}: {old:g} -> {new:g} ({delta:+.1%})")
+    if regs:
+        print(f"bench_gate: FAIL — {len(regs)} gated metrics regressed "
+              f"beyond {args.tolerance:.0%}")
+        return 1
+    print("bench_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,9 +3,12 @@
 # ThreadSanitizer build of the threaded-scheduler tests to catch data races
 # the plain build can't see.
 #
-#   tools/check.sh            # tier-1 + TSan
-#   tools/check.sh --fast     # tier-1 only
-#   tools/check.sh --explore  # tier-1 + TSan + schedule-sweep fuzz smoke
+#   tools/check.sh                 # tier-1 + TSan
+#   tools/check.sh --fast          # tier-1 only
+#   tools/check.sh --explore       # tier-1 + TSan + schedule-sweep fuzz smoke
+#   tools/check.sh --label unit    # restrict ctest to one tier
+#                                  # (unit | stress | explore; repeatable
+#                                  #  via ctest's -L regex semantics)
 #
 # Honors CMAKE_BUILD_PARALLEL_LEVEL for the build/test job count.
 set -euo pipefail
@@ -15,18 +18,26 @@ JOBS="${CMAKE_BUILD_PARALLEL_LEVEL:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/
 
 FAST=0
 EXPLORE=0
-for arg in "$@"; do
-  case "$arg" in
-    --fast) FAST=1 ;;
-    --explore) EXPLORE=1 ;;
-    *) echo "usage: tools/check.sh [--fast] [--explore]" >&2; exit 2 ;;
+LABEL=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) FAST=1; shift ;;
+    --explore) EXPLORE=1; shift ;;
+    --label) LABEL="${2:?--label needs an argument}"; shift 2 ;;
+    *) echo "usage: tools/check.sh [--fast] [--explore] [--label TIER]" >&2
+       exit 2 ;;
   esac
 done
 
-echo "== tier-1: build + full test suite =="
+CTEST_ARGS=(--output-on-failure -j "$JOBS")
+if [[ -n "$LABEL" ]]; then
+  CTEST_ARGS+=(-L "$LABEL")
+fi
+
+echo "== tier-1: build + test suite${LABEL:+ (label: $LABEL)} =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
-(cd build && ctest --output-on-failure -j "$JOBS")
+(cd build && ctest "${CTEST_ARGS[@]}")
 
 if [[ "$EXPLORE" == 1 ]]; then
   echo "== explore: schedule-sweep differential fuzz smoke =="
