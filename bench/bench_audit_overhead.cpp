@@ -1,0 +1,201 @@
+// E13: cost of the invariant auditor (src/audit) on the threaded engine.
+//
+// Three configurations of the same self(1) flat-Doall run:
+//
+//   bare   worker_loop instantiated over NoAuditContext, a context that
+//          keeps the trace accessors (so tracing is held constant across
+//          all three configs) but has no audit_sink() — the
+//          AuditableContext concept fails and every audit hook compiles to
+//          nothing.  This is byte-for-byte what a SELFSCHED_AUDIT=0 build
+//          produces, measurable inside a normal build (compiling this TU
+//          with the macro off would ODR-collide with the library's
+//          instantiations).
+//   off    RContext with audit_sink() present but null — the shipping
+//          default: each hook is one branch on a pointer.
+//   on     a live Auditor shadow-tracking every ICB lifecycle event.
+//
+// The claim to check (ISSUE acceptance): bare/off stay within 1.01x of
+// each other even on a dispatch-bound loop — auditing must be free unless
+// an auditor is actually installed.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "audit/auditor.hpp"
+#include "audit/hooks.hpp"
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "exec/real_context.hpp"
+#include "runtime/high_level.hpp"
+#include "runtime/worker.hpp"
+#include "sync/barrier.hpp"
+#include "trace/recorder.hpp"
+#include "workloads/programs.hpp"
+
+namespace selfsched {
+namespace {
+
+/// RContext minus audit_sink().  Composition, not inheritance, so the
+/// accessor cannot leak through and AuditableContext<NoAuditContext> is
+/// false — the audit hooks in the pool/worker/high-level seams vanish.
+/// The trace accessors ARE forwarded: both sides of the comparison bump
+/// the same counters, isolating the audit hooks themselves.
+class NoAuditContext {
+ public:
+  using Sync = sync::SyncVar;
+  static constexpr bool kIsSimulated = false;
+
+  NoAuditContext(ProcId proc, u32 num_procs) : inner_(proc, num_procs, false) {}
+
+  ProcId proc() const { return inner_.proc(); }
+  u32 num_procs() const { return inner_.num_procs(); }
+  sync::SyncResult sync_op(Sync& v, sync::Test t, i64 test_value, sync::Op op,
+                           i64 operand = 0) {
+    return inner_.sync_op(v, t, test_value, op, operand);
+  }
+  void work(Cycles c) { inner_.work(c); }
+  void pause(Cycles c) { inner_.pause(c); }
+  exec::Phase set_phase(exec::Phase p) { return inner_.set_phase(p); }
+  exec::WorkerStats& stats() { return inner_.stats(); }
+
+  void set_trace_sink(trace::WorkerSink* sink,
+                      std::chrono::steady_clock::time_point epoch) {
+    inner_.set_trace_sink(sink, epoch);
+  }
+  trace::WorkerSink* trace_sink() const { return inner_.trace_sink(); }
+  Cycles trace_now() const { return inner_.trace_now(); }
+
+ private:
+  exec::RContext inner_;
+};
+
+static_assert(exec::ExecutionContext<NoAuditContext>);
+static_assert(trace::TraceableContext<NoAuditContext>);
+static_assert(!audit::AuditableContext<NoAuditContext>);
+static_assert(audit::AuditableContext<exec::RContext>);
+
+constexpr i64 kIters = 200000;
+constexpr Cycles kBodyWork = 32;  // near-empty body => dispatch-bound
+constexpr int kReps = 7;
+
+program::NestedLoopProgram make_workload() {
+  return workloads::flat_doall(
+      kIters, [](const IndexVec&, i64) -> Cycles { return kBodyWork; });
+}
+
+/// One run of worker_loop on `procs` threads; wall ns.  `make(id)` builds
+/// the per-worker context; `setup(ctx, id)` installs sinks.
+template <typename MakeCtx, typename Setup>
+double run_once(const program::NestedLoopProgram& prog, u32 procs,
+                const runtime::SchedOptions& opts, MakeCtx make,
+                Setup setup) {
+  using Ctx = decltype(make(ProcId{0}));
+  runtime::SchedState<Ctx> st(prog.tables(), opts);
+  sync::SpinBarrier start_line(procs);
+  Stopwatch watch;
+
+  auto body = [&](ProcId id) {
+    auto ctx = make(id);
+    setup(ctx, id);
+    start_line.arrive_and_wait();
+    if (id == 0) {
+      watch.reset();
+      runtime::seed_program(ctx, st);
+    }
+    runtime::worker_loop(ctx, st);
+  };
+  std::vector<std::thread> team;
+  team.reserve(procs);
+  for (u32 id = 1; id < procs; ++id) team.emplace_back(body, id);
+  body(0);
+  for (std::thread& t : team) t.join();
+  return static_cast<double>(watch.elapsed_ns());
+}
+
+template <typename MakeCtx, typename Setup>
+double median_ns(const program::NestedLoopProgram& prog, u32 procs,
+                 const runtime::SchedOptions& opts, MakeCtx make,
+                 Setup setup) {
+  std::vector<double> ns;
+  ns.reserve(kReps);
+  for (int r = 0; r < kReps; ++r) {
+    ns.push_back(run_once(prog, procs, opts, make, setup));
+  }
+  std::sort(ns.begin(), ns.end());
+  return ns[ns.size() / 2];
+}
+
+}  // namespace
+}  // namespace selfsched
+
+int main() {
+  using namespace selfsched;
+  const u32 hw = std::thread::hardware_concurrency();
+  const u32 procs = hw ? std::min(4u, hw) : 4u;
+  runtime::SchedOptions opts;
+  opts.strategy = runtime::Strategy::self();
+  opts.measure_phases = false;
+  const auto prog = make_workload();
+
+  bench::banner(
+      "E13: audit subsystem overhead (threads engine, self(1), "
+      "dispatch-bound)",
+      "compiled-out auditing is free; a null sink stays within 1.01x");
+  std::printf("procs=%u iters=%lld body_work=%lld reps=%d (median)\n", procs,
+              static_cast<long long>(kIters),
+              static_cast<long long>(kBodyWork), kReps);
+
+  // Tracing held constant: every config gets a counters-only sink.
+  trace::Recorder rec(procs, /*events_on=*/false, opts.trace_ring_capacity);
+  const auto make_bare = [procs](ProcId id) {
+    return NoAuditContext(id, procs);
+  };
+  const auto make_real = [procs](ProcId id) {
+    return exec::RContext(id, procs, /*measure_phases=*/false);
+  };
+  const auto bare_setup = [&](NoAuditContext& ctx, ProcId id) {
+    ctx.set_trace_sink(&rec.sink(id), rec.epoch());
+  };
+
+  // Warm-up (page in code + scheduler state allocators).
+  (void)run_once(prog, procs, opts, make_bare, bare_setup);
+
+  const double bare = median_ns(prog, procs, opts, make_bare, bare_setup);
+
+  const double off = median_ns(
+      prog, procs, opts, make_real, [&](exec::RContext& ctx, ProcId id) {
+        ctx.set_trace_sink(&rec.sink(id), rec.epoch());
+        ctx.set_audit_sink(nullptr);
+      });
+
+  audit::Auditor auditor;
+  const double on = median_ns(
+      prog, procs, opts, make_real, [&](exec::RContext& ctx, ProcId id) {
+        // An Auditor audits ONE run; no hooks fire until every worker has
+        // passed the start barrier, so worker 0 can reset it here.
+        if (id == 0) auditor.reset();
+        ctx.set_trace_sink(&rec.sink(id), rec.epoch());
+        ctx.set_audit_sink(&auditor);
+      });
+
+  bench::Table t({"config", "median_ms", "ns_per_iter", "vs_bare"});
+  const auto row = [&](const char* name, double ns) {
+    t.row({name, bench::fmt(ns / 1e6, 2),
+           bench::fmt(ns / static_cast<double>(kIters), 1),
+           bench::fmt(ns / bare, 3)});
+  };
+  row("bare (hooks compiled out)", bare);
+  row("null sink (shipping default)", off);
+  row("live auditor", on);
+  t.print();
+
+  std::printf("\nauditor saw %llu events, %llu violations in the last rep (want 0)\n",
+              static_cast<unsigned long long>(auditor.events()),
+              static_cast<unsigned long long>(auditor.violation_count()));
+  const double ratio = off / bare;
+  std::printf("null-sink vs bare: %.3fx (target <= 1.01x; medians of %d "
+              "noisy wall-clock reps)\n", ratio, kReps);
+  return 0;
+}

@@ -1,0 +1,254 @@
+// Invariant-auditor instrumentation hooks, mirroring trace/recorder.hpp's
+// pattern: the scheduler templates call the named wrappers below; a context
+// opts in by providing
+//
+//     audit::Auditor* audit_sink()
+//
+// (both RContext and VContext do).  A context without the accessor — or a
+// build configured with -DSELFSCHED_AUDIT=0 — compiles every hook away to
+// nothing, which bench_audit_overhead verifies (≤1.01x of a bare build).
+//
+// Layering: this header depends only on audit/auditor.hpp and trace/ (for
+// counter folding); the runtime headers include it, never the reverse.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "audit/auditor.hpp"
+#include "common/types.hpp"
+#include "trace/recorder.hpp"
+
+#ifndef SELFSCHED_AUDIT
+#define SELFSCHED_AUDIT 1
+#endif
+
+namespace selfsched::audit {
+
+template <typename C>
+concept AuditableContext = requires(C& ctx) {
+  { ctx.audit_sink() };
+};
+
+/// Host-side read of a context synchronization variable — no sync_op, so no
+/// virtual-time charge and no schedule perturbation.  Sound only where the
+/// caller already owns the ordering (inside the lock protecting the value,
+/// or at quiescence after every worker has joined).
+template <typename S>
+inline i64 sync_peek(S& s) {
+  if constexpr (requires { s.load(); }) {
+    return s.load();
+  } else {
+    return s.v;
+  }
+}
+
+namespace detail {
+
+/// Fold one hook delivery (and any violations it recorded) into the trace
+/// counters so audited runs report audit_* next to the protocol counters.
+template <typename C>
+inline void account(C& ctx, u32 violations) {
+  trace::bump(ctx, &trace::Counters::audit_events);
+  if (violations != 0) {
+    trace::bump(ctx, &trace::Counters::audit_violations, violations);
+  }
+}
+
+}  // namespace detail
+
+// Every wrapper has the same shape: enabled build + auditable context +
+// installed sink, else a constant-folded no-op.
+#if SELFSCHED_AUDIT
+#define SELFSCHED_AUDIT_HOOK_BODY(call)          \
+  if constexpr (AuditableContext<C>) {           \
+    if (Auditor* a = ctx.audit_sink()) {         \
+      detail::account(ctx, a->call);             \
+    }                                            \
+  }
+#else
+#define SELFSCHED_AUDIT_HOOK_BODY(call)
+#endif
+
+template <typename C>
+inline void on_acquire(C& ctx, const void* icb) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_acquire(ctx.proc(), icb))
+  (void)ctx;
+  (void)icb;
+}
+
+template <typename C>
+inline void on_publish(C& ctx, const void* icb, LoopId loop, u64 ivec_hash,
+                       i64 bound, u32 list) {
+  SELFSCHED_AUDIT_HOOK_BODY(
+      on_publish(ctx.proc(), icb, loop, ivec_hash, bound, list))
+  (void)ctx;
+  (void)icb;
+  (void)loop;
+  (void)ivec_hash;
+  (void)bound;
+  (void)list;
+}
+
+/// Convenience wrapper over on_publish for call sites holding the ICB
+/// itself: derives (loop, ivec hash, bound) from its fields, and — unlike
+/// spelling the arguments at the call site — only computes the ivec hash
+/// when the hook is live.
+template <typename C, typename IcbT>
+inline void on_publish_icb(C& ctx, const IcbT* ip, u32 list) {
+#if SELFSCHED_AUDIT
+  if constexpr (AuditableContext<C>) {
+    if (Auditor* a = ctx.audit_sink()) {
+      detail::account(
+          ctx, a->on_publish(ctx.proc(), ip, ip->loop,
+                             trace::ivec_hash(ip->ivec, ip->depth), ip->bound,
+                             list));
+    }
+  }
+#endif
+  (void)ctx;
+  (void)ip;
+  (void)list;
+}
+
+template <typename C>
+inline void on_attach(C& ctx, const void* icb) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_attach(ctx.proc(), icb))
+  (void)ctx;
+  (void)icb;
+}
+
+template <typename C>
+inline void on_attach_revoked(C& ctx, const void* icb) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_attach_revoked(ctx.proc(), icb))
+  (void)ctx;
+  (void)icb;
+}
+
+template <typename C>
+inline void on_detach(C& ctx, const void* icb, i64 pcount_before) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_detach(ctx.proc(), icb, pcount_before))
+  (void)ctx;
+  (void)icb;
+  (void)pcount_before;
+}
+
+template <typename C>
+inline void on_dispatch(C& ctx, const void* icb, i64 first, i64 count) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_dispatch(ctx.proc(), icb, first, count))
+  (void)ctx;
+  (void)icb;
+  (void)first;
+  (void)count;
+}
+
+template <typename C>
+inline void on_complete(C& ctx, const void* icb, i64 icount_before,
+                        i64 count) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_complete(ctx.proc(), icb, icount_before, count))
+  (void)ctx;
+  (void)icb;
+  (void)icount_before;
+  (void)count;
+}
+
+template <typename C>
+inline void on_unlink(C& ctx, const void* icb) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_unlink(ctx.proc(), icb))
+  (void)ctx;
+  (void)icb;
+}
+
+template <typename C>
+inline void on_release(C& ctx, const void* icb) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_release(ctx.proc(), icb))
+  (void)ctx;
+  (void)icb;
+}
+
+template <typename C>
+inline void on_da_post(C& ctx, const void* icb, i64 j) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_da_post(ctx.proc(), icb, j))
+  (void)ctx;
+  (void)icb;
+  (void)j;
+}
+
+template <typename C>
+inline void on_bar_count(C& ctx, u32 loop_uid, bool created, i64 count,
+                         i64 bound, bool tripped) {
+  SELFSCHED_AUDIT_HOOK_BODY(
+      on_bar_count(ctx.proc(), loop_uid, created, count, bound, tripped))
+  (void)ctx;
+  (void)loop_uid;
+  (void)created;
+  (void)count;
+  (void)bound;
+  (void)tripped;
+}
+
+template <typename C>
+inline void on_terminate(C& ctx) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_terminate(ctx.proc()))
+  (void)ctx;
+}
+
+#undef SELFSCHED_AUDIT_HOOK_BODY
+
+/// Structural check of one task-pool list, called while its lock is still
+/// held (so the walk is race-free) right after a lock region restored the
+/// control word: head/tail agreement, left/right back-link consistency,
+/// cycle boundedness, and SW-bit/list-emptiness agreement.  `sw_bit_fn` is
+/// invoked (only when the hook is live) to host-side-peek SW(list) — all
+/// SW(list) mutations happen under list `list`'s lock, so the peek is exact
+/// here.
+template <typename C, typename Node, typename SwBitFn>
+inline void check_list(C& ctx, u32 list, const Node* head, const Node* tail,
+                       SwBitFn&& sw_bit_fn) {
+#if SELFSCHED_AUDIT
+  if constexpr (AuditableContext<C>) {
+    Auditor* a = ctx.audit_sink();
+    if (a == nullptr) return;
+    const bool sw_bit = sw_bit_fn();
+    std::string problem;
+    if ((head == nullptr) != (tail == nullptr)) {
+      problem = "one of head/tail null, the other not";
+    } else if (sw_bit != (head != nullptr)) {
+      problem = head != nullptr ? "SW bit clear on a non-empty list"
+                                : "SW bit set on an empty list";
+    } else {
+      constexpr std::size_t kMaxSteps = std::size_t{1} << 22;
+      const Node* prev = nullptr;
+      const Node* p = head;
+      std::size_t steps = 0;
+      while (p != nullptr) {
+        if (p->left != prev) {
+          problem = "left back-link does not match the predecessor";
+          break;
+        }
+        if (++steps > kMaxSteps) {
+          problem = "walk exceeded the step bound (cycle?)";
+          break;
+        }
+        prev = p;
+        p = p->right;
+      }
+      if (problem.empty() && prev != tail) {
+        problem = "forward walk did not end at tail";
+      }
+    }
+    if (!problem.empty()) {
+      detail::account(ctx, a->on_list_violation(ctx.proc(), list, problem));
+    } else {
+      detail::account(ctx, 0);
+    }
+  }
+#endif
+  (void)ctx;
+  (void)list;
+  (void)head;
+  (void)tail;
+  (void)sw_bit_fn;
+}
+
+}  // namespace selfsched::audit

@@ -14,6 +14,10 @@
 #include "sync/sync_var.hpp"
 #include "trace/recorder.hpp"
 
+namespace selfsched::audit {
+class Auditor;
+}
+
 namespace selfsched::exec {
 
 class RContext {
@@ -92,6 +96,10 @@ class RContext {
         .count();
   }
 
+  /// Audit hook point (audit/hooks.hpp).
+  void set_audit_sink(audit::Auditor* sink) { audit_sink_ = sink; }
+  audit::Auditor* audit_sink() const { return audit_sink_; }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -102,6 +110,7 @@ class RContext {
   Clock::time_point mark_;
   WorkerStats stats_;
   trace::WorkerSink* trace_sink_ = nullptr;
+  audit::Auditor* audit_sink_ = nullptr;
   Clock::time_point trace_epoch_{};
   u64 sink_ = 0;
 };

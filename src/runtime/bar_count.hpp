@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/hooks.hpp"
 #include "common/cacheline.hpp"
 #include "common/check.hpp"
 #include "common/small_vec.hpp"
@@ -59,6 +60,7 @@ class BarCountTable {
       prev = n;
       n = n->next;
     }
+    const bool created = (n == nullptr);
     if (n == nullptr) {
       n = alloc_node(ctx);
       n->loop_uid = loop_uid;
@@ -73,6 +75,9 @@ class BarCountTable {
         ctx.sync_op(n->count, sync::Test::kNone, 0, sync::Op::kIncrement)
             .fetched;
     const bool tripped = (seen + 1 == bound);
+    // Hook before the hard check so an overrun still yields a structured
+    // audit report alongside the thrown diagnostic.
+    audit::on_bar_count(ctx, loop_uid, created, seen + 1, bound, tripped);
     SS_CHECK_MSG(seen + 1 <= bound, "BAR_COUNT overran its loop bound");
     if (tripped) {
       // Unlink and recycle; the instance is complete and this key is dead.

@@ -120,6 +120,22 @@ class CtxControlWord {
     }
   }
 
+  /// Host-side read of bit i — no sync_op, so no virtual-time charge and no
+  /// schedule perturbation.  Exact only where the caller owns the ordering:
+  /// all SW(i) mutations happen under list i's lock, so holding that lock
+  /// (as the audit hooks do) makes the peek authoritative.
+  bool peek(u32 i) const {
+    SS_DCHECK(i < num_bits_);
+    auto& s = words_[i >> 6].v;
+    u64 bits;
+    if constexpr (requires { s.load(); }) {
+      bits = static_cast<u64>(s.load());
+    } else {
+      bits = static_cast<u64>(s.v);
+    }
+    return (bits & bit_mask(i)) != 0;
+  }
+
   /// One-bit probe (the local-list-first fast path of SEARCH): one Fetch.
   bool test(C& ctx, u32 i) {
     SS_DCHECK(i < num_bits_);

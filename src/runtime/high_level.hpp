@@ -8,6 +8,7 @@
 
 #include <algorithm>
 
+#include "audit/hooks.hpp"
 #include "common/check.hpp"
 #include "exec/context.hpp"
 #include "program/tables.hpp"
@@ -257,7 +258,7 @@ void enter(C& ctx, SchedState<C>& st, LoopId cur, Level level,
                    static_cast<Cycles>(d->depth));
       }
       Icb<C>* icb = st.icbs.acquire(ctx);
-      icb->init(cur, b, ivec, d->doacross.has_value());
+      icb->init(cur, b, ivec, d->doacross.has_value(), d->depth);
       icb->pool_list = st.list_of(cur, ctx.proc());
       ctx.sync_op(st.outstanding, Test::kNone, 0, Op::kIncrement);
       st.pool.append(ctx, icb->pool_list, icb);
@@ -387,8 +388,24 @@ bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
       if (has_unscheduled &&
           ctx.sync_op(ip->pcount, Test::kLT, ip->bound, Op::kIncrement)
               .success) {
-        attached = true;
-        break;
+        audit::on_attach(ctx, ip);
+        // The index pre-test and the pcount increment are separate
+        // synchronization instructions, so the last iterations may have
+        // been dispatched in between — the attach would then be pure
+        // churn: the worker's first grab fails, and until its detach
+        // lands the completer's teardown spin-waits on the surplus
+        // pcount.  Re-test under our attach and revoke immediately; the
+        // remaining window (iterations exhausted after this re-test) is
+        // benign and handled by the grab-failure detach path, which the
+        // auditor's pcount/balance checks cover.
+        if (ctx.sync_op(ip->index, Test::kLE, ip->bound, Op::kFetch)
+                .success) {
+          attached = true;
+          break;
+        }
+        ctx.sync_op(ip->pcount, Test::kNone, 0, Op::kDecrement);
+        audit::on_attach_revoked(ctx, ip);
+        trace::bump(ctx, &trace::Counters::search_retries);
       }
       ip = ip->right;
     }

@@ -38,6 +38,10 @@ struct Icb {
   /// processor may differ from the appending one).
   u32 pool_list = 0;
   i64 bound = 0;
+  /// Nesting depth of `loop` — the meaningful prefix of `ivec` (entries past
+  /// it are stale scratch from the activator's cursor).  Lets diagnostics
+  /// (trace events, audit reports) hash the instance identity consistently.
+  Level depth = kMaxDepth;
   IndexVec ivec;
 
   typename C::Sync index;
@@ -48,13 +52,32 @@ struct Icb {
   std::unique_ptr<typename C::Sync[]> da_flags;
   i64 da_flags_cap = 0;
 
-  /// Prepare for (re)use as an instance of loop `l`.  Plain writes: the ICB
-  /// is not visible to other processors until APPEND publishes it.
-  void init(LoopId l, i64 b, const IndexVec& iv, bool needs_da_flags) {
+  /// Prepare for (re)use as an instance of loop `l`.
+  ///
+  /// Plain writes — safe under the threaded engine because the ICB is never
+  /// shared while init runs, and APPEND's list-lock release is the publish
+  /// point.  The happens-before chain across a recycle is:
+  ///
+  ///   previous generation's attachers' last field accesses
+  ///     -> their {pcount ; Decrement} detaches            (atomic RMW)
+  ///     -> the releaser's successful {pcount == 1 ; Decrement}
+  ///     -> IcbPool::release's lock release / acquire's lock acquire
+  ///     -> init's plain writes (this function; sole owner)
+  ///     -> APPEND's list-lock release                      (publish)
+  ///     -> a searcher's list-lock acquire before it can see the ICB.
+  ///
+  /// Every edge is an acquire/release (or stronger) pair on the same
+  /// synchronization variable, so no reader of the new generation can
+  /// observe a stale `aux` or `da_flags` value from the previous one.  The
+  /// ICB-recycling stress test in test_scheduler_threads.cpp exercises this
+  /// chain under TSan with both recycled auxiliaries.
+  void init(LoopId l, i64 b, const IndexVec& iv, bool needs_da_flags,
+            Level dep = kMaxDepth) {
     SS_DCHECK(b >= 1);
     right = left = nullptr;
     loop = l;
     bound = b;
+    depth = dep;
     ivec = iv;
     index.reset(1);
     icount.reset(0);

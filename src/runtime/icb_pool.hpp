@@ -7,6 +7,7 @@
 
 #include <deque>
 
+#include "audit/hooks.hpp"
 #include "common/check.hpp"
 #include "exec/context.hpp"
 #include "runtime/ctx_sync.hpp"
@@ -34,6 +35,9 @@ class IcbPool {
       p = &arena_.back();
       ++allocated_;
     }
+    // Inside the lock region: acquire/release hook delivery for one ICB is
+    // therefore ordered exactly like the pool operations themselves.
+    audit::on_acquire(ctx, p);
     ctx_unlock(ctx, lock_);
     return p;
   }
@@ -43,6 +47,7 @@ class IcbPool {
   void release(C& ctx, Icb<C>* p) {
     SS_DCHECK(p != nullptr);
     ctx_lock(ctx, lock_);
+    audit::on_release(ctx, p);
     p->right = free_head_;
     p->left = nullptr;
     free_head_ = p;

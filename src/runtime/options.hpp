@@ -6,6 +6,10 @@
 #include "vtime/costs.hpp"
 #include "vtime/schedule_ctrl.hpp"
 
+namespace selfsched::audit {
+class Auditor;
+}
+
 namespace selfsched::runtime {
 
 struct SchedOptions {
@@ -63,6 +67,24 @@ struct SchedOptions {
   /// Per-worker event-ring capacity (rounded up to a power of two); on
   /// overflow the ring wraps, keeping the newest events.
   u32 trace_ring_capacity = 1u << 14;
+
+  /// Both engines: run the invariant auditor (audit/auditor.hpp) alongside
+  /// the scheduler — ICB-lifecycle state machine, pcount/icount protocol,
+  /// task-pool list integrity, BAR_COUNT reclamation, Doacross post-once.
+  /// Also enabled by the SELFSCHED_AUDIT=1 environment variable (so a whole
+  /// ctest run can be audited unmodified).  Compile-time kill switch: build
+  /// with -DSELFSCHED_AUDIT=0.
+  bool audit = false;
+
+  /// Throw (SS_CHECK) at end of run if the auditor recorded violations;
+  /// disable to inspect RunResult::audit_report instead (fault-injection
+  /// tests).
+  bool audit_abort = true;
+
+  /// External auditor to use instead of a run-internal one (implies
+  /// `audit`).  Lets tests arm fault injection before the run and read the
+  /// violations back after it.  Not owned.
+  audit::Auditor* audit_sink = nullptr;
 
   /// BAR_COUNT hash-table buckets.
   u32 bar_buckets = 256;

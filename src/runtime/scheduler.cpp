@@ -1,10 +1,13 @@
 #include "runtime/scheduler.hpp"
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "audit/auditor.hpp"
+#include "audit/hooks.hpp"
 #include "common/stopwatch.hpp"
 #include "exec/real_context.hpp"
 #include "runtime/high_level.hpp"
@@ -25,6 +28,57 @@ void harvest_trace(const trace::Recorder& rec, RunResult& r) {
   r.trace_events_dropped = rec.events_dropped();
 }
 
+/// SELFSCHED_AUDIT=1 in the environment audits every run in the process —
+/// how the CI audit job and `check.sh --audit` audit a whole ctest suite
+/// without touching any test.
+#if SELFSCHED_AUDIT
+bool audit_env_enabled() {
+  const char* e = std::getenv("SELFSCHED_AUDIT");
+  return e != nullptr && e[0] != '\0' && !(e[0] == '0' && e[1] == '\0');
+}
+#endif
+
+/// The run's auditor: the caller-provided external one, a run-internal one
+/// when auditing is requested, or none.
+struct AuditSetup {
+  std::unique_ptr<audit::Auditor> owned;
+  audit::Auditor* sink = nullptr;
+};
+
+AuditSetup make_audit(const SchedOptions& opts) {
+  AuditSetup s;
+#if SELFSCHED_AUDIT
+  s.sink = opts.audit_sink;
+  if (s.sink == nullptr && (opts.audit || audit_env_enabled())) {
+    s.owned = std::make_unique<audit::Auditor>();
+    s.sink = s.owned.get();
+  }
+#else
+  (void)opts;
+#endif
+  return s;
+}
+
+/// End-of-run conservation checks + report harvest; call after every worker
+/// has joined and RunResult::schedule_decisions is filled in.
+template <typename C>
+void finish_audit(audit::Auditor* auditor, SchedState<C>& st,
+                  const SchedOptions& opts, RunResult& r) {
+#if SELFSCHED_AUDIT
+  if (auditor == nullptr) return;
+  auditor->on_quiescence(st.pool.empty(), st.bars.live_counters(),
+                         audit::sync_peek(st.outstanding));
+  r.audit_violations = auditor->violation_count();
+  r.audit_report = auditor->report(r.schedule_decisions);
+  SS_CHECK_MSG(!opts.audit_abort || r.audit_violations == 0, r.audit_report);
+#else
+  (void)auditor;
+  (void)st;
+  (void)opts;
+  (void)r;
+#endif
+}
+
 }  // namespace
 
 RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
@@ -36,6 +90,7 @@ RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
   engine.set_schedule_controller(ctrl.get());
   engine.set_record_schedule(opts.record_schedule);
   trace::Recorder rec(procs, opts.trace_events, opts.trace_ring_capacity);
+  const AuditSetup auditing = make_audit(opts);
   std::vector<exec::WorkerStats> stats(procs);
   std::vector<std::vector<exec::PhaseInterval>> timeline(
       opts.phase_timeline ? procs : 0);
@@ -43,6 +98,7 @@ RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
   const Cycles makespan = engine.run([&](ProcId id) {
     vtime::VContext ctx(engine, id, opts.costs, opts.phase_timeline);
     ctx.set_trace_sink(&rec.sink(id));
+    ctx.set_audit_sink(auditing.sink);
     if (id == 0) seed_program(ctx, st);
     worker_loop(ctx, st);
     ctx.finish_timeline();
@@ -60,6 +116,7 @@ RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
   r.schedule_diverged = ctrl != nullptr && ctrl->diverged();
   r.timeline = std::move(timeline);
   harvest_trace(rec, r);
+  finish_audit(auditing.sink, st, opts, r);
   finalize(r);
   return r;
 }
@@ -75,6 +132,7 @@ RunResult run_threads_impl(const program::NestedLoopProgram& prog, u32 procs,
   SS_CHECK(procs >= 1);
   SchedState<exec::RContext> st(prog.tables(), opts);
   trace::Recorder rec(procs, opts.trace_events, opts.trace_ring_capacity);
+  const AuditSetup auditing = make_audit(opts);
   std::vector<exec::WorkerStats> stats(procs);
   sync::SpinBarrier start_line(procs);
   Stopwatch watch;
@@ -82,6 +140,7 @@ RunResult run_threads_impl(const program::NestedLoopProgram& prog, u32 procs,
   dispatch([&](ProcId id) {
     exec::RContext ctx(id, procs, opts.measure_phases);
     ctx.set_trace_sink(&rec.sink(id), rec.epoch());
+    ctx.set_audit_sink(auditing.sink);
     start_line.arrive_and_wait();
     if (id == 0) {
       watch.reset();  // time from the moment the full team is assembled
@@ -98,6 +157,7 @@ RunResult run_threads_impl(const program::NestedLoopProgram& prog, u32 procs,
   r.makespan = watch.elapsed_ns();
   r.workers = std::move(stats);
   harvest_trace(rec, r);
+  finish_audit(auditing.sink, st, opts, r);
   finalize(r);
   return r;
 }

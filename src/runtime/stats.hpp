@@ -36,6 +36,11 @@ struct RunResult {
   /// vtime only: a kReplay controller stopped matching its recorded
   /// decision trace (the run completed with canonical fallback picks).
   bool schedule_diverged = false;
+  /// Invariant violations the auditor recorded (0 when auditing was off);
+  /// `audit_report` holds the structured report, including the recorded
+  /// schedule-decision trace under vtime (replayable via kReplay).
+  u64 audit_violations = 0;
+  std::string audit_report;
 
   /// Processor utilization η = useful body time / (P * makespan).
   double utilization() const;

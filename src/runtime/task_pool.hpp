@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "audit/hooks.hpp"
 #include "common/cacheline.hpp"
 #include "common/check.hpp"
 #include "exec/context.hpp"
@@ -50,6 +51,12 @@ class TaskPool {
       l.head = ip;
     }
     sw_.set(ctx, i);
+    // Publish point: the hook fires inside the lock region, so a searcher's
+    // attach hook (also under this lock) cannot be delivered first.
+    audit::on_publish_icb(ctx, ip, i);
+    audit::check_list(ctx, i, static_cast<const Icb<C>*>(l.head),
+                      static_cast<const Icb<C>*>(l.tail),
+                      [&] { return sw_.peek(i); });
     ctx_unlock(ctx, l.lock);
   }
 
@@ -74,6 +81,10 @@ class TaskPool {
       l.tail = x;
     }
     if (x != nullptr || y != nullptr) sw_.set(ctx, i);
+    audit::on_unlink(ctx, ip);
+    audit::check_list(ctx, i, static_cast<const Icb<C>*>(l.head),
+                      static_cast<const Icb<C>*>(l.tail),
+                      [&] { return sw_.peek(i); });
     ctx_unlock(ctx, l.lock);
   }
 

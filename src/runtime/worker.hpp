@@ -18,6 +18,7 @@
 
 #include <cmath>
 
+#include "audit/hooks.hpp"
 #include "exec/context.hpp"
 #include "runtime/high_level.hpp"
 #include "runtime/strategy.hpp"
@@ -84,6 +85,7 @@ void run_doacross_iteration(C& ctx, const SchedState<C>& st,
   {
     exec::PhaseScope<C> sync_phase(ctx, exec::Phase::kIterSync);
     ctx.sync_op(icb.da_flags[j], Test::kNone, 0, Op::kStore, 1);
+    audit::on_da_post(ctx, &icb, j);
   }
   if (!d.body || C::kIsSimulated) {
     ctx.work(cost - head);
@@ -112,13 +114,17 @@ void worker_loop(C& ctx, SchedState<C>& st) {
       // Instance fully scheduled: detach and look for other work.
       {
         exec::PhaseScope<C> phase(ctx, exec::Phase::kIterSync);
-        ctx.sync_op(cursor.ip->pcount, Test::kNone, 0, Op::kDecrement);
+        const i64 before =
+            ctx.sync_op(cursor.ip->pcount, Test::kNone, 0, Op::kDecrement)
+                .fetched;
+        audit::on_detach(ctx, cursor.ip, before);
       }
       attached = search(ctx, st, cursor);
       continue;
     }
     ctx.stats().dispatches++;
     trace::bump(ctx, &trace::Counters::dispatches);
+    audit::on_dispatch(ctx, cursor.ip, grab.first, grab.count);
     if (grab.last_scheduled) {
       // All iterations are scheduled (not necessarily completed): remove
       // the ICB so searchers move on to other instances.
@@ -150,6 +156,7 @@ void worker_loop(C& ctx, SchedState<C>& st) {
       completed_before = ctx.sync_op(cursor.ip->icount, Test::kNone, 0,
                                      Op::kFetchAdd, grab.count)
                              .fetched;
+      audit::on_complete(ctx, cursor.ip, completed_before, grab.count);
     }
     if (completed_before + grab.count == cursor.b) {
       {
@@ -176,6 +183,7 @@ void worker_loop(C& ctx, SchedState<C>& st) {
           trace::bump(ctx, &trace::Counters::backoff_iterations);
           ctx.pause(backoff.next());
         }
+        audit::on_detach(ctx, cursor.ip, 1);
         charge_cost<C>(ctx, &vtime::CostModel::icb_release);
         st.icbs.release(ctx, cursor.ip);
         ctx.stats().icbs_released++;
@@ -185,6 +193,7 @@ void worker_loop(C& ctx, SchedState<C>& st) {
         SS_DCHECK(before >= 1);
         if (before == 1) {
           ctx.sync_op(st.done, Test::kNone, 0, Op::kStore, 1);
+          audit::on_terminate(ctx);
         }
         trace::event_end(ctx, tt, trace::EventKind::kTeardown, cursor.i,
                          trace::ivec_hash(cursor.ivec, d.depth), 0, 0);
@@ -206,6 +215,7 @@ void seed_program(C& ctx, SchedState<C>& st) {
   if (ctx.sync_op(st.outstanding, Test::kEQ, 0, Op::kFetch).success) {
     // Every construct was guarded off or zero-trip: nothing to run.
     ctx.sync_op(st.done, Test::kNone, 0, Op::kStore, 1);
+    audit::on_terminate(ctx);
   }
 }
 

@@ -20,12 +20,15 @@ struct Counters {
                                // test or leading-one scan)
   u64 search_retries = 0;      // SEARCH rounds that selected a list but
                                // came away without attaching (stale bit or
-                               // every instance saturated)
+                               // every instance saturated), plus attaches
+                               // revoked by the post-attach index re-test
   u64 list_lock_failures = 0;  // failed try-locks on task-pool list locks
   u64 lock_acquisitions = 0;   // paper-lock acquisitions (list locks et al.)
   u64 backoff_iterations = 0;  // pause() calls across all spin loops
   u64 pool_appends = 0;        // ICBs appended to the task pool
   u64 pool_deletes = 0;        // ICBs unlinked from the task pool
+  u64 audit_events = 0;        // invariant-auditor hooks delivered
+  u64 audit_violations = 0;    // invariant violations the auditor recorded
 
   /// Visit (name, member pointer) of every counter — single source of truth
   /// for merge(), reports and exporters.
@@ -42,6 +45,8 @@ struct Counters {
     fn("backoff_iterations", &Counters::backoff_iterations);
     fn("pool_appends", &Counters::pool_appends);
     fn("pool_deletes", &Counters::pool_deletes);
+    fn("audit_events", &Counters::audit_events);
+    fn("audit_violations", &Counters::audit_violations);
   }
 
   void merge(const Counters& o) {

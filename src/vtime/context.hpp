@@ -19,6 +19,10 @@
 #include "vtime/costs.hpp"
 #include "vtime/engine.hpp"
 
+namespace selfsched::audit {
+class Auditor;
+}
+
 namespace selfsched::vtime {
 
 class VContext {
@@ -109,12 +113,19 @@ class VContext {
   trace::WorkerSink* trace_sink() const { return trace_sink_; }
   Cycles trace_now() const { return engine_->now(proc_); }
 
+  /// Audit hook point (audit/hooks.hpp).  The auditor does host work only
+  /// (no sync_op, no charge), so an audited vtime run is bit-identical to
+  /// an unaudited one.
+  void set_audit_sink(audit::Auditor* sink) { audit_sink_ = sink; }
+  audit::Auditor* audit_sink() const { return audit_sink_; }
+
  private:
   Engine* engine_;
   CostModel costs_;
   ProcId proc_;
   Phase phase_ = Phase::kOther;
   trace::WorkerSink* trace_sink_ = nullptr;
+  audit::Auditor* audit_sink_ = nullptr;
   exec::WorkerStats stats_;
   std::optional<std::vector<exec::PhaseInterval>> timeline_;
   Cycles interval_start_ = 0;

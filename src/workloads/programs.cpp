@@ -135,6 +135,14 @@ class RandomBuilder {
   }
 
   NodePtr gen_construct(Level level) {
+    // IF branches recurse at the *same* level, so max_depth alone does not
+    // bound the tree: with high if_permille the branching process turns
+    // supercritical and the recursion is infinite with positive
+    // probability (stack overflow).  A global construct budget forces
+    // termination for every (seed, cfg) while leaving typical subcritical
+    // configs untouched.
+    if (construct_budget_ == 0) return gen_leaf(level, /*allow_zero_bound=*/true);
+    --construct_budget_;
     if (level < cfg_.max_depth && chance(cfg_.if_permille)) {
       NodeSeq then_branch = gen_seq(level, /*allow_empty=*/false);
       NodeSeq else_branch =
@@ -165,6 +173,7 @@ class RandomBuilder {
   RandomProgramConfig cfg_;
   const BodyFactory& bodies_;
   u32 leaf_counter_ = 0;
+  u32 construct_budget_ = 256;
 };
 
 }  // namespace

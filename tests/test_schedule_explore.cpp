@@ -339,5 +339,79 @@ TEST(ScheduleExplore, ReplayDivergenceIsReported) {
   EXPECT_TRUE(replayed.schedule_diverged);
 }
 
+TEST(ScheduleExplore, AuditedSweepAcrossSwStrategyMatrix) {
+  // The whole SW configuration matrix under explored schedules with the
+  // invariant auditor live: any ICB-lifecycle, list-integrity, BAR_COUNT,
+  // or Doacross-flag violation aborts the run (audit_abort defaults to
+  // true), and differential_check still holds every run to the serial
+  // oracle.  This is the in-tree core of `check.sh --audit`.
+  auto builder = [](const program::BodyFactory& bodies) {
+    return wide_program(12, 3, bodies);
+  };
+  u32 combo = 0;
+  for (const bool hier : {false, true}) {
+    for (const bool rotate : {false, true}) {
+      for (const u32 shards : {1u, 2u}) {
+        for (const runtime::Strategy& strat :
+             {runtime::Strategy::gss(), runtime::Strategy::trapezoid()}) {
+          SchedOptions opts;
+          opts.audit = true;
+          opts.strategy = strat;
+          opts.sw_hierarchical = hier;
+          opts.search_rotate = rotate;
+          opts.pool_shards = shards;
+          runtime::ScheduleSweep sweep;
+          sweep.schedules = 2;
+          sweep.controller = ControllerKind::kSeededShuffle;
+          sweep.base_seed = 31u + ++combo;
+          sweep.jitter = 2;
+          const auto r = runtime::differential_check(
+              builder, 5, EngineKind::kVtime, opts, sweep);
+          EXPECT_TRUE(r.ok)
+              << "hier=" << hier << " rotate=" << rotate
+              << " shards=" << shards << "\n" << r.detail;
+        }
+      }
+    }
+  }
+}
+
+TEST(ScheduleExplore, SearchRetryChurnIsPinnedUnderTheAttachRetest) {
+  // Regression for the SEARCH attach TOCTOU fix: the post-attach index
+  // re-test revokes doomed attaches immediately and folds them into
+  // `search_retries`.  Canonical vtime runs are deterministic, so the
+  // churn per (program, schedule) is pinned — identical across repeated
+  // runs and across audit on/off (the auditor does host work only) — and
+  // stays bounded even on an APPEND/DELETE-heavy program under explored
+  // schedules.
+  const auto prog = wide_program(36, 3, nullptr);
+  SchedOptions base;
+  base.pool_shards = 2;
+  const RunResult a = runtime::run_vtime(prog, 6, base);
+  const RunResult b = runtime::run_vtime(prog, 6, base);
+  EXPECT_EQ(a.counters.search_retries, b.counters.search_retries);
+  EXPECT_EQ(a.makespan, b.makespan);
+
+  SchedOptions audited = base;
+  audited.audit = true;
+  const RunResult c = runtime::run_vtime(prog, 6, audited);
+  EXPECT_EQ(a.counters.search_retries, c.counters.search_retries);
+  EXPECT_EQ(a.makespan, c.makespan);
+
+  for (const u64 s : {1ull, 2ull, 3ull}) {
+    SchedOptions opts = base;
+    opts.schedule.kind = ControllerKind::kSeededShuffle;
+    opts.schedule.seed = s;
+    opts.schedule.jitter = 2;
+    const RunResult x = runtime::run_vtime(prog, 6, opts);
+    const RunResult y = runtime::run_vtime(prog, 6, opts);
+    EXPECT_EQ(x.counters.search_retries, y.counters.search_retries)
+        << "seed=" << s;
+    // Every retry (failed round or revoked attach) costs sync ops, so
+    // runaway churn would show up here long before it wedges a run.
+    EXPECT_LE(x.counters.search_retries, x.total.sync_ops) << "seed=" << s;
+  }
+}
+
 }  // namespace
 }  // namespace selfsched

@@ -5,6 +5,7 @@
 
 #include "helpers.hpp"
 #include "program/fig1.hpp"
+#include "baselines/sequential.hpp"
 #include "runtime/scheduler.hpp"
 #include "workloads/kernels.hpp"
 #include "workloads/programs.hpp"
@@ -109,6 +110,37 @@ TEST(ThreadsScheduler, RepeatedRunsOnSameProgramObject) {
     const auto r = runtime::run_threads(prog, 2);
     EXPECT_EQ(r.total.iterations, 1000u);
   }
+}
+
+TEST(ThreadsStress, IcbRecyclingAcrossTrapezoidAndDoacross) {
+  // ICB recycling hazard sweep (see the happens-before contract on
+  // Icb::init): a recycled block's plain fields — trapezoid `aux`,
+  // Doacross `da_flags`, the index vector — are rewritten without atomics
+  // by the new instance's creator, relying on the release-lock/acquire-lock
+  // edge through the pool and APPEND's list-lock publish.  Built with TSan
+  // (SELFSCHED_SANITIZE=thread covers this target), these runs recycle the
+  // same blocks across many instances of both flavours; auditing stays OFF
+  // here so the auditor's internal mutex cannot mask a missing edge.
+  workloads::RandomProgramConfig cfg;
+  cfg.doacross_permille = 500;
+  cfg.serial_permille = 500;
+  cfg.max_depth = 3;
+  for (const u64 seed : {5ull, 23ull, 57ull, 91ull}) {
+    const auto prog = workloads::random_program(seed, cfg);
+    const u64 oracle = baselines::run_sequential(prog).iterations;
+    runtime::SchedOptions opts;
+    opts.strategy = runtime::Strategy::trapezoid();
+    const auto r = runtime::run_threads(prog, 4, opts);
+    EXPECT_EQ(r.total.iterations, oracle) << "seed=" << seed;
+  }
+  // Triangular drives one ICB slot through n back-to-back trapezoid
+  // instances (each inner loop re-initializes the recycled block's aux).
+  const auto tri = workloads::triangular(40, 3);
+  runtime::SchedOptions tss;
+  tss.strategy = runtime::Strategy::trapezoid();
+  const auto r = runtime::run_threads(tri, 4, tss);
+  EXPECT_EQ(r.total.iterations, baselines::run_sequential(tri).iterations);
+  EXPECT_GT(r.total.icbs_released, 1u);
 }
 
 TEST(ThreadsScheduler, StatsAccounting) {

@@ -66,12 +66,21 @@ def run_overhead_bench(build_dir):
 
 
 def compare(baseline, current, tolerance):
-    """Return (regressions, improvements, compared) over gated metrics."""
-    base = {m["name"]: m for m in baseline["metrics"] if m.get("gate")}
-    cur = {m["name"]: m for m in current["metrics"] if m.get("gate")}
-    regressions, improvements, compared = [], [], 0
+    """Return (regressions, improvements, compared, only_base, only_cur,
+    malformed) over gated metrics.  A metric missing "value"/"better" lands
+    in `malformed` by name instead of raising KeyError mid-comparison."""
+    base = {m.get("name", "<unnamed>"): m
+            for m in baseline.get("metrics", []) if m.get("gate")}
+    cur = {m.get("name", "<unnamed>"): m
+           for m in current.get("metrics", []) if m.get("gate")}
+    regressions, improvements, malformed, compared = [], [], [], 0
     for name in sorted(base.keys() & cur.keys()):
         old, new = base[name], cur[name]
+        missing = [k for k in ("value", "better") if k not in old]
+        missing += [k for k in ("value",) if k not in new]
+        if missing:
+            malformed.append((name, sorted(set(missing))))
+            continue
         compared += 1
         if old["value"] == 0:
             continue
@@ -85,7 +94,59 @@ def compare(baseline, current, tolerance):
             improvements.append(entry)
     only_base = sorted(base.keys() - cur.keys())
     only_cur = sorted(cur.keys() - base.keys())
-    return regressions, improvements, compared, only_base, only_cur
+    return regressions, improvements, compared, only_base, only_cur, malformed
+
+
+def evaluate(baseline, current, tolerance, allow_missing=False):
+    """Apply the gate policy; returns (ok, lines).
+
+    A gated baseline metric absent from a fresh run at the SAME max_procs
+    is a failure with the missing names spelled out — a silently shrinking
+    bench would otherwise pass the gate forever.  A shorter sweep
+    (different max_procs) stays a note, as does --allow-missing.
+    """
+    regs, imps, compared, only_base, only_cur, malformed = compare(
+        baseline, current, tolerance)
+    lines = [f"bench_gate: compared {compared} gated metrics "
+             f"(tolerance {tolerance:.0%})"]
+    ok = True
+    if malformed:
+        for name, keys in malformed:
+            lines.append(f"  MALFORMED {name}: missing {', '.join(keys)}")
+        lines.append(f"bench_gate: FAIL — {len(malformed)} metric(s) "
+                     "malformed; refresh with --update-baseline")
+        ok = False
+    if only_base:
+        names = ", ".join(only_base[:5]) + (", ..." if len(only_base) > 5
+                                            else "")
+        if baseline.get("max_procs") != current.get("max_procs"):
+            lines.append(f"bench_gate: note: {len(only_base)} baseline "
+                         f"metrics not in this run ({names}) — smoke sweep?")
+        elif allow_missing:
+            lines.append(f"bench_gate: note: {len(only_base)} baseline "
+                         f"metrics not in this run ({names}) — waived by "
+                         "--allow-missing")
+        else:
+            lines.append(f"bench_gate: FAIL — {len(only_base)} gated "
+                         f"baseline metric(s) missing from this run: {names}")
+            lines.append("  (sweep matches the baseline's max_procs, so the "
+                         "bench lost coverage; --allow-missing waives)")
+            ok = False
+    if only_cur:
+        lines.append(f"bench_gate: note: {len(only_cur)} new metrics not in "
+                     f"the baseline (first: {only_cur[0]}) — refresh the "
+                     "baseline")
+    for name, old, new, delta in imps:
+        lines.append(f"  IMPROVED  {name}: {old:g} -> {new:g} ({delta:+.1%})")
+    for name, old, new, delta in regs:
+        lines.append(f"  REGRESSED {name}: {old:g} -> {new:g} ({delta:+.1%})")
+    if regs:
+        lines.append(f"bench_gate: FAIL — {len(regs)} gated metrics "
+                     f"regressed beyond {tolerance:.0%}")
+        ok = False
+    if ok:
+        lines.append("bench_gate: OK")
+    return ok, lines
 
 
 def main():
@@ -106,6 +167,9 @@ def main():
     ap.add_argument("--skip-gbench", action="store_true",
                     help="skip the wall-clock overhead bench (informational "
                          "metrics only)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="downgrade gated baseline metrics missing from a "
+                         "same-max-procs run from failure to note")
     args = ap.parse_args()
 
     metrics = run_search_bench(args.build_dir, args.max_procs,
@@ -145,26 +209,10 @@ def main():
         sys.exit(f"bench_gate: baseline schema {baseline.get('schema')!r} "
                  f"!= {SCHEMA!r}; refresh with --update-baseline")
 
-    regs, imps, compared, only_base, only_cur = compare(
-        baseline, current, args.tolerance)
-    print(f"bench_gate: compared {compared} gated metrics "
-          f"(tolerance {args.tolerance:.0%})")
-    if only_base:
-        print(f"bench_gate: note: {len(only_base)} baseline metrics not in "
-              f"this run (first: {only_base[0]}) — smoke sweep?")
-    if only_cur:
-        print(f"bench_gate: note: {len(only_cur)} new metrics not in the "
-              f"baseline (first: {only_cur[0]}) — refresh the baseline")
-    for name, old, new, delta in imps:
-        print(f"  IMPROVED  {name}: {old:g} -> {new:g} ({delta:+.1%})")
-    for name, old, new, delta in regs:
-        print(f"  REGRESSED {name}: {old:g} -> {new:g} ({delta:+.1%})")
-    if regs:
-        print(f"bench_gate: FAIL — {len(regs)} gated metrics regressed "
-              f"beyond {args.tolerance:.0%}")
-        return 1
-    print("bench_gate: OK")
-    return 0
+    ok, lines = evaluate(baseline, current, args.tolerance,
+                         args.allow_missing)
+    print("\n".join(lines))
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -6,6 +6,10 @@
 #   tools/check.sh                 # tier-1 + TSan
 #   tools/check.sh --fast          # tier-1 only
 #   tools/check.sh --explore       # tier-1 + TSan + schedule-sweep fuzz smoke
+#   tools/check.sh --audit         # unit+explore tiers with the invariant
+#                                  # auditor live (SELFSCHED_AUDIT=1 env:
+#                                  # every run is audited, violations abort),
+#                                  # then an ASan build of the same tiers
 #   tools/check.sh --label unit    # restrict ctest to one tier
 #                                  # (unit | stress | explore; repeatable
 #                                  #  via ctest's -L regex semantics)
@@ -18,16 +22,34 @@ JOBS="${CMAKE_BUILD_PARALLEL_LEVEL:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/
 
 FAST=0
 EXPLORE=0
+AUDIT=0
 LABEL=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) FAST=1; shift ;;
     --explore) EXPLORE=1; shift ;;
+    --audit) AUDIT=1; shift ;;
     --label) LABEL="${2:?--label needs an argument}"; shift 2 ;;
-    *) echo "usage: tools/check.sh [--fast] [--explore] [--label TIER]" >&2
+    *) echo "usage: tools/check.sh [--fast] [--explore] [--audit]" \
+            "[--label TIER]" >&2
        exit 2 ;;
   esac
 done
+
+if [[ "$AUDIT" == 1 ]]; then
+  echo "== audit: unit+explore tiers with SELFSCHED_AUDIT=1 =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  (cd build && SELFSCHED_AUDIT=1 ctest --output-on-failure -j "$JOBS" \
+      -L 'unit|explore')
+  echo "== audit: ASan build, audited unit tier =="
+  cmake -B build-asan -S . -DSELFSCHED_SANITIZE=address
+  cmake --build build-asan -j "$JOBS"
+  (cd build-asan && SELFSCHED_AUDIT=1 ctest --output-on-failure -j "$JOBS" \
+      -L unit)
+  echo "== OK (audit) =="
+  exit 0
+fi
 
 CTEST_ARGS=(--output-on-failure -j "$JOBS")
 if [[ -n "$LABEL" ]]; then
