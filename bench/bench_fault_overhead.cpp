@@ -1,0 +1,197 @@
+// E14: cost of the fault-injection hooks (runtime/fault.hpp) on the
+// threaded engine.
+//
+// Three configurations of the same self(1) flat-Doall run:
+//
+//   bare     worker_loop instantiated over NoFaultContext, a context that
+//            keeps the trace accessors but has no fault_plan() — the
+//            FaultableContext concept fails and every fault hook compiles
+//            to nothing, byte-for-byte what a SELFSCHED_FAULT=0 build
+//            produces (compiling this TU with the macro off would
+//            ODR-collide with the library's instantiations).
+//   off      RContext with fault_plan() present but null — the shipping
+//            default: each body point is one branch on a pointer.
+//   armed    a plan holding one spec that never matches (wrong loop), so
+//            every body point walks the spec list and rejects it — the
+//            worst case short of actually firing.
+//
+// The claim to check (ISSUE acceptance): bare/off stay within 1.02x of
+// each other even on a dispatch-bound loop — fault injection must be free
+// unless a plan is actually installed.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "exec/real_context.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/high_level.hpp"
+#include "runtime/worker.hpp"
+#include "sync/barrier.hpp"
+#include "trace/recorder.hpp"
+#include "workloads/programs.hpp"
+
+namespace selfsched {
+namespace {
+
+/// RContext minus fault_plan().  Composition, not inheritance, so the
+/// accessor cannot leak through and FaultableContext<NoFaultContext> is
+/// false — the fault hooks at the body and lock seams vanish.  Trace and
+/// cancellation state are untouched: only the injection hooks differ.
+class NoFaultContext {
+ public:
+  using Sync = sync::SyncVar;
+  static constexpr bool kIsSimulated = false;
+
+  NoFaultContext(ProcId proc, u32 num_procs) : inner_(proc, num_procs, false) {}
+
+  ProcId proc() const { return inner_.proc(); }
+  u32 num_procs() const { return inner_.num_procs(); }
+  sync::SyncResult sync_op(Sync& v, sync::Test t, i64 test_value, sync::Op op,
+                           i64 operand = 0) {
+    return inner_.sync_op(v, t, test_value, op, operand);
+  }
+  void work(Cycles c) { inner_.work(c); }
+  void pause(Cycles c) { inner_.pause(c); }
+  exec::Phase set_phase(exec::Phase p) { return inner_.set_phase(p); }
+  exec::WorkerStats& stats() { return inner_.stats(); }
+
+  void set_trace_sink(trace::WorkerSink* sink,
+                      std::chrono::steady_clock::time_point epoch) {
+    inner_.set_trace_sink(sink, epoch);
+  }
+  trace::WorkerSink* trace_sink() const { return inner_.trace_sink(); }
+  Cycles trace_now() const { return inner_.trace_now(); }
+
+ private:
+  exec::RContext inner_;
+};
+
+static_assert(exec::ExecutionContext<NoFaultContext>);
+static_assert(trace::TraceableContext<NoFaultContext>);
+static_assert(!fault::FaultableContext<NoFaultContext>);
+static_assert(fault::FaultableContext<exec::RContext>);
+
+constexpr i64 kIters = 200000;
+constexpr Cycles kBodyWork = 32;  // near-empty body => dispatch-bound
+constexpr int kReps = 7;
+
+program::NestedLoopProgram make_workload() {
+  return workloads::flat_doall(
+      kIters, [](const IndexVec&, i64) -> Cycles { return kBodyWork; });
+}
+
+/// One run of worker_loop on `procs` threads; wall ns.
+template <typename MakeCtx, typename Setup>
+double run_once(const program::NestedLoopProgram& prog, u32 procs,
+                const runtime::SchedOptions& opts, MakeCtx make,
+                Setup setup) {
+  using Ctx = decltype(make(ProcId{0}));
+  runtime::SchedState<Ctx> st(prog.tables(), opts);
+  sync::SpinBarrier start_line(procs);
+  Stopwatch watch;
+
+  auto body = [&](ProcId id) {
+    auto ctx = make(id);
+    setup(ctx, id);
+    start_line.arrive_and_wait();
+    if (id == 0) {
+      watch.reset();
+      runtime::seed_program(ctx, st);
+    }
+    runtime::worker_loop(ctx, st);
+  };
+  std::vector<std::thread> team;
+  team.reserve(procs);
+  for (u32 id = 1; id < procs; ++id) team.emplace_back(body, id);
+  body(0);
+  for (std::thread& t : team) t.join();
+  return static_cast<double>(watch.elapsed_ns());
+}
+
+template <typename MakeCtx, typename Setup>
+double median_ns(const program::NestedLoopProgram& prog, u32 procs,
+                 const runtime::SchedOptions& opts, MakeCtx make,
+                 Setup setup) {
+  std::vector<double> ns;
+  ns.reserve(kReps);
+  for (int r = 0; r < kReps; ++r) {
+    ns.push_back(run_once(prog, procs, opts, make, setup));
+  }
+  std::sort(ns.begin(), ns.end());
+  return ns[ns.size() / 2];
+}
+
+}  // namespace
+}  // namespace selfsched
+
+int main() {
+  using namespace selfsched;
+  const u32 hw = std::thread::hardware_concurrency();
+  const u32 procs = hw ? std::min(4u, hw) : 4u;
+  runtime::SchedOptions opts;
+  opts.strategy = runtime::Strategy::self();
+  opts.measure_phases = false;
+  const auto prog = make_workload();
+
+  bench::banner(
+      "E14: fault-injection hook overhead (threads engine, self(1), "
+      "dispatch-bound)",
+      "compiled-out hooks are free; a null plan stays within 1.02x");
+  std::printf("procs=%u iters=%lld body_work=%lld reps=%d (median)\n", procs,
+              static_cast<long long>(kIters),
+              static_cast<long long>(kBodyWork), kReps);
+
+  // Tracing held constant: every config gets a counters-only sink.
+  trace::Recorder rec(procs, /*events_on=*/false, opts.trace_ring_capacity);
+  const auto make_bare = [procs](ProcId id) {
+    return NoFaultContext(id, procs);
+  };
+  const auto make_real = [procs](ProcId id) {
+    return exec::RContext(id, procs, /*measure_phases=*/false);
+  };
+  const auto bare_setup = [&](NoFaultContext& ctx, ProcId id) {
+    ctx.set_trace_sink(&rec.sink(id), rec.epoch());
+  };
+
+  // Warm-up (page in code + scheduler state allocators).
+  (void)run_once(prog, procs, opts, make_bare, bare_setup);
+
+  const double bare = median_ns(prog, procs, opts, make_bare, bare_setup);
+
+  const double off = median_ns(
+      prog, procs, opts, make_real, [&](exec::RContext& ctx, ProcId id) {
+        ctx.set_trace_sink(&rec.sink(id), rec.epoch());
+        ctx.set_fault_plan(nullptr);
+      });
+
+  fault::FaultPlan plan;
+  plan.body_throw(/*loop=*/999, /*iteration=*/-1);  // never matches
+  const double armed = median_ns(
+      prog, procs, opts, make_real, [&](exec::RContext& ctx, ProcId id) {
+        if (id == 0) plan.reset();
+        ctx.set_trace_sink(&rec.sink(id), rec.epoch());
+        ctx.set_fault_plan(&plan);
+      });
+
+  bench::Table t({"config", "median_ms", "ns_per_iter", "vs_bare"});
+  const auto row = [&](const char* name, double ns) {
+    t.row({name, bench::fmt(ns / 1e6, 2),
+           bench::fmt(ns / static_cast<double>(kIters), 1),
+           bench::fmt(ns / bare, 3)});
+  };
+  row("bare (hooks compiled out)", bare);
+  row("null plan (shipping default)", off);
+  row("armed, no match (worst case)", armed);
+  t.print();
+
+  std::printf("\narmed plan fired %llu times (want 0)\n",
+              static_cast<unsigned long long>(plan.total_fired()));
+  const double ratio = off / bare;
+  std::printf("null-plan vs bare: %.3fx (target <= 1.02x; medians of %d "
+              "noisy wall-clock reps)\n", ratio, kReps);
+  return 0;
+}

@@ -290,6 +290,52 @@ u32 Auditor::on_terminate(ProcId w) {
   return 0;
 }
 
+u32 Auditor::on_cancel(ProcId w) {
+  std::lock_guard lk(mu_);
+  ++events_;
+  cancelled_ = true;
+  (void)w;
+  return 0;
+}
+
+u32 Auditor::on_drain_release(const void* icb) {
+  std::lock_guard lk(mu_);
+  ++events_;
+  Shadow& s = shadow(icb);
+  u32 v = 0;
+  if (!cancelled_) {
+    v += violate(&s, 0, "drain-without-cancel",
+                 "host drain of an ICB outside a cancelled run");
+  }
+  if (s.state != IcbState::kPublished && s.state != IcbState::kDraining) {
+    v += violate(&s, 0, "drain-invalid-state",
+                 fmt("drain of an ICB in state %s", icb_state_name(s.state)));
+  }
+  s.state = IcbState::kReleased;
+  --outstanding_shadow_;
+  if (outstanding_shadow_ < 0) {
+    v += violate(&s, 0, "outstanding-negative",
+                 "more instances released than were ever published");
+  }
+  return v;
+}
+
+u32 Auditor::on_drain_bars(u64 n) {
+  std::lock_guard lk(mu_);
+  ++events_;
+  u32 v = 0;
+  if (n != 0 && !cancelled_) {
+    v += violate(nullptr, 0, "drain-without-cancel",
+                 "host drain of BAR_COUNT nodes outside a cancelled run");
+  }
+  live_bars_ -= static_cast<i64>(n);
+  if (live_bars_ < 0) {
+    v += violate(nullptr, 0, "bar-count-leak",
+                 "more BAR_COUNT nodes reclaimed than allocated");
+  }
+  return v;
+}
+
 u32 Auditor::on_quiescence(bool pool_empty, u64 live_bar_counters,
                            i64 outstanding) {
   std::lock_guard lk(mu_);
@@ -348,6 +394,7 @@ void Auditor::reset() {
   outstanding_shadow_ = 0;
   live_bars_ = 0;
   done_seen_ = false;
+  cancelled_ = false;
   armed_double_release_ = kNoLoop;
   violations_.clear();
 }

@@ -108,6 +108,18 @@ class Auditor {
   /// The all-done flag was stored; later activations are protocol breaches.
   u32 on_terminate(ProcId w);
 
+  // --- structured cancellation (runtime/fault.hpp, docs/robustness.md) ---
+  /// Cancellation initiated: done := 1 WITHOUT a protocol termination
+  /// (post-cancel completers may still legitimately publish successors).
+  /// Switches the auditor into cancelled mode, in which the host-side
+  /// post-join drain may retire leftovers via the on_drain_* hooks below.
+  u32 on_cancel(ProcId w);
+  /// Host-side drain of one orphaned ICB (published or draining) after a
+  /// cancelled run; counts as its release for the conservation balances.
+  u32 on_drain_release(const void* icb);
+  /// Host-side drain reclaimed `n` live BAR_COUNT counter nodes.
+  u32 on_drain_bars(u64 n);
+
   /// End-of-run conservation checks; call after every worker has joined.
   /// `outstanding` is the final value of SchedState::outstanding and
   /// `live_bar_counters` of BarCountTable::live_counters().
@@ -160,6 +172,7 @@ class Auditor {
   i64 outstanding_shadow_ = 0;  // publishes - releases
   i64 live_bars_ = 0;           // BAR_COUNT nodes allocated - reclaimed
   bool done_seen_ = false;
+  bool cancelled_ = false;      // on_cancel seen; on_drain_* become legal
   LoopId armed_double_release_ = kNoLoop;
   std::vector<Violation> violations_;
 };

@@ -193,6 +193,12 @@ inline void on_terminate(C& ctx) {
   (void)ctx;
 }
 
+template <typename C>
+inline void on_cancel(C& ctx) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_cancel(ctx.proc()))
+  (void)ctx;
+}
+
 #undef SELFSCHED_AUDIT_HOOK_BODY
 
 /// Structural check of one task-pool list, called while its lock is still

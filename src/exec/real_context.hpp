@@ -18,6 +18,10 @@ namespace selfsched::audit {
 class Auditor;
 }
 
+namespace selfsched::fault {
+struct FaultPlan;
+}
+
 namespace selfsched::exec {
 
 class RContext {
@@ -100,6 +104,10 @@ class RContext {
   void set_audit_sink(audit::Auditor* sink) { audit_sink_ = sink; }
   audit::Auditor* audit_sink() const { return audit_sink_; }
 
+  /// Fault-injection hook point (runtime/fault.hpp).
+  void set_fault_plan(fault::FaultPlan* plan) { fault_plan_ = plan; }
+  fault::FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -111,6 +119,7 @@ class RContext {
   WorkerStats stats_;
   trace::WorkerSink* trace_sink_ = nullptr;
   audit::Auditor* audit_sink_ = nullptr;
+  fault::FaultPlan* fault_plan_ = nullptr;
   Clock::time_point trace_epoch_{};
   u64 sink_ = 0;
 };

@@ -42,7 +42,12 @@ class ThreadTeam {
   u32 procs() const { return procs_; }
 
   /// Run `fn(id)` on every member (ids 1..P-1) and on the caller (id 0);
-  /// returns when all are done.  Not reentrant.
+  /// returns when all are done.  Not reentrant.  Exception-safe on the
+  /// caller side: if fn(0) throws, the members — already dispatched and
+  /// beyond recall — are still waited for, then the team state is reset
+  /// before the exception propagates, so the team stays usable and its
+  /// destructor's join cannot deadlock.  (fn must not throw on member
+  /// threads; the scheduler contains body exceptions before they get here.)
   void run(const std::function<void(ProcId)>& fn) {
     {
       std::lock_guard lk(mu_);
@@ -53,14 +58,23 @@ class ThreadTeam {
       ++epoch_;
     }
     cv_.notify_all();
-    fn(0);
+    try {
+      fn(0);
+    } catch (...) {
+      wait_members_and_reset();
+      throw;
+    }
+    wait_members_and_reset();
+  }
+
+ private:
+  void wait_members_and_reset() {
     std::unique_lock lk(mu_);
     done_cv_.wait(lk, [this] { return remaining_ == 0; });
     running_ = false;
     fn_ = nullptr;
   }
 
- private:
   void member_loop(ProcId id) {
     u64 seen_epoch = 0;
     for (;;) {

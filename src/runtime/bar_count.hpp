@@ -110,6 +110,25 @@ class BarCountTable {
     return live;
   }
 
+  /// Host-side reclamation of every live counter (cancelled-run drain; see
+  /// drain_cancelled in high_level.hpp).  Caller must guarantee quiescence.
+  /// Returns the number of nodes reclaimed.
+  u64 host_clear() {
+    u64 reclaimed = 0;
+    for (u64 b = 0; b <= mask_; ++b) {
+      Node* n = buckets_[b].head;
+      while (n != nullptr) {
+        Node* next = n->next;
+        n->next = free_nodes_;
+        free_nodes_ = n;
+        n = next;
+        ++reclaimed;
+      }
+      buckets_[b].head = nullptr;
+    }
+    return reclaimed;
+  }
+
  private:
   static constexpr Cycles kProbeCost = 4;
 

@@ -11,6 +11,7 @@
 #include "common/cacheline.hpp"
 #include "common/check.hpp"
 #include "exec/context.hpp"
+#include "runtime/fault.hpp"
 #include "sync/backoff.hpp"
 #include "sync/test_op.hpp"
 #include "trace/recorder.hpp"
@@ -21,8 +22,11 @@ using sync::Op;
 using sync::Test;
 
 /// Paper lock acquire: spin: {L = 1; Decrement}; if (failure) goto spin.
+/// Fault-injection seam: an armed kLockDelay fault pauses the matching
+/// worker here, perturbing lock-arrival order (compiles out without a plan).
 template <exec::ExecutionContext C>
 void ctx_lock(C& ctx, typename C::Sync& l) {
+  fault::on_lock(ctx);
   sync::Backoff backoff;
   while (!ctx.sync_op(l, Test::kEQ, 1, Op::kDecrement).success) {
     trace::bump(ctx, &trace::Counters::backoff_iterations);

@@ -14,6 +14,7 @@
 #include "program/tables.hpp"
 #include "runtime/bar_count.hpp"
 #include "runtime/ctx_sync.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/icb_pool.hpp"
 #include "runtime/options.hpp"
 #include "runtime/task_pool.hpp"
@@ -33,6 +34,8 @@ struct SchedState {
         bars(o.bar_buckets) {
     outstanding.reset(0);
     done.reset(0);
+    cancel.claim.reset(0);
+    cancel.latch.reset(0);
   }
 
   /// Which task-pool list receives an instance of loop i appended by
@@ -55,6 +58,10 @@ struct SchedState {
   /// to 0 while work remains).
   typename C::Sync outstanding;
   typename C::Sync done;
+
+  /// Shared cancellation state (claim/latch election, failure record,
+  /// deadlines); see the protocol functions below and docs/robustness.md.
+  fault::CancelState<typename C::Sync> cancel;
 };
 
 /// A worker's view of the instance it is currently scheduling from
@@ -99,6 +106,192 @@ inline i64 eval_bound(C& ctx, const program::Bound& bound,
   const i64 b = bound.eval(ivec);
   SS_CHECK_MSG(b >= 0, "loop bound expression evaluated to a negative value");
   return b;
+}
+
+// ---------------------------------------------------------------------------
+// Structured cancellation (docs/robustness.md).
+//
+// One failure — a throwing body, an armed fault, an expired deadline —
+// quiesces the whole nest:
+//   1. the failing worker claims the failure record (`cancel.claim`, an
+//      engine-serialized {== 0 ; Increment} election) and initiates
+//      cancellation (`cancel.latch`, same election): store done := 1 and
+//      poison every pooled instance's low-level index word to bound+1;
+//   2. every grab loop fails against the poisoned index (all five
+//      strategies gate on {index <= bound}), so workers detach and fall
+//      into SEARCH, which already polls `done` each round and exits;
+//   3. blocking regions (Doacross post-waits, teardown pcount drains,
+//      injected stalls) poll `done` per spin round — `done != 0` while the
+//      polling worker still holds an unreleased instance can only mean
+//      cancellation, because normal termination requires `outstanding` to
+//      reach 0 first;
+//   4. after the team joins, the runner's host-side drain_cancelled()
+//      reclaims every orphaned ICB and BAR_COUNT chain so the auditor's
+//      conservation rules hold for cancelled runs too.
+// The healthy path pays nothing: no extra synchronization instructions
+// outside spin rounds, and the poisoned-index encoding reuses the grab
+// loop's existing bound test.  Cancellation signals exclusively through
+// engine-serialized sync variables, so cancelled vtime runs replay
+// bit-identically; the `cancel.cancelled` host mirror is read mid-run only
+// by threaded workers (fast abort between body iterations).
+// ---------------------------------------------------------------------------
+
+/// Fast host-side cancellation probe for the threaded engine.  Constant
+/// false under vtime: virtual workers observe cancellation only through
+/// sync variables, keeping cancelled runs bit-replayable.
+template <exec::ExecutionContext C>
+inline bool cancelled_fast(C& ctx, const SchedState<C>& st) {
+  (void)ctx;
+  if constexpr (C::kIsSimulated) {
+    (void)st;
+    return false;
+  } else {
+    return st.cancel.cancelled.load(std::memory_order_relaxed) != 0;
+  }
+}
+
+/// Engine-serialized cancellation probe for spin loops whose worker still
+/// holds an unreleased instance (Doacross post-waits, teardown drains,
+/// injected stalls): there, `done != 0` can only mean cancellation.
+template <exec::ExecutionContext C>
+inline bool cancel_requested(C& ctx, SchedState<C>& st) {
+  return ctx.sync_op(st.done, Test::kNE, 0, Op::kFetch).success;
+}
+
+/// Poison every pooled instance's index word to bound+1 so all further
+/// {index <= bound ; Fetch&Add} grabs fail.  GSS/factoring cannot undo the
+/// poison either: their in-flight CAS {index == seen ; Fetch&Add} requires
+/// the pre-fetched (legal, <= bound) value to still be current.  Instances
+/// already fully scheduled (index past bound) are unchanged in behavior.
+template <exec::ExecutionContext C>
+void poison_pool(C& ctx, SchedState<C>& st) {
+  for (u32 i = 0; i < st.pool.num_lists(); ++i) {
+    ctx_lock(ctx, st.pool.list_lock(i));
+    for (Icb<C>* ip = st.pool.list_head(i); ip != nullptr; ip = ip->right) {
+      ctx.sync_op(ip->index, Test::kNone, 0, Op::kStore, ip->bound + 1);
+    }
+    ctx_unlock(ctx, st.pool.list_lock(i));
+  }
+}
+
+/// Claim the failure record; true iff this worker is the (deterministic,
+/// under vtime) first claimant and now owns writing st.cancel.record.
+template <exec::ExecutionContext C>
+inline bool claim_failure_record(C& ctx, SchedState<C>& st) {
+  return ctx.sync_op(st.cancel.claim, Test::kEQ, 0, Op::kIncrement).success;
+}
+
+/// Fill the failure record (call only after winning claim_failure_record).
+template <exec::ExecutionContext C>
+void write_failure_record(C& ctx, SchedState<C>& st,
+                          fault::FailureRecord::Kind kind, LoopId loop,
+                          const IndexVec& ivec, u32 depth, i64 j,
+                          std::string message, std::exception_ptr eptr) {
+  fault::FailureRecord& rec = st.cancel.record;
+  rec.kind = kind;
+  rec.loop = loop;
+  rec.ivec.clear();
+  for (u32 k = 0; k < depth; ++k) rec.ivec.push_back(ivec[k]);
+  rec.iteration = j;
+  rec.worker = ctx.proc();
+  rec.message = std::move(message);
+  rec.exception = std::move(eptr);
+}
+
+/// Initiate cancellation (idempotent via the latch election); true iff this
+/// call won and actually cancelled the run.
+template <exec::ExecutionContext C>
+bool initiate_cancel(C& ctx, SchedState<C>& st) {
+  if (!ctx.sync_op(st.cancel.latch, Test::kEQ, 0, Op::kIncrement).success) {
+    return false;
+  }
+  st.cancel.cancelled.store(1, std::memory_order_release);
+  trace::bump(ctx, &trace::Counters::cancellations);
+  audit::on_cancel(ctx);
+  // done := 1 ends SEARCH everywhere.  Deliberately NOT audit::on_terminate:
+  // post-cancel completers may legitimately still publish successor ICBs.
+  ctx.sync_op(st.done, Test::kNone, 0, Op::kStore, 1);
+  poison_pool(ctx, st);
+  return true;
+}
+
+/// Record a failure observed at a body point and cancel the run.
+template <exec::ExecutionContext C>
+void fail_run(C& ctx, SchedState<C>& st, fault::FailureRecord::Kind kind,
+              LoopId loop, const IndexVec& ivec, u32 depth, i64 j,
+              std::string message, std::exception_ptr eptr) {
+  if (claim_failure_record(ctx, st)) {
+    write_failure_record(ctx, st, kind, loop, ivec, depth, j,
+                         std::move(message), std::move(eptr));
+  }
+  initiate_cancel(ctx, st);
+}
+
+/// Has the armed deadline passed?  vtime: deterministic virtual-clock
+/// comparison (free — no sync op).  Threads: host steady clock.
+template <exec::ExecutionContext C>
+inline bool deadline_expired(C& ctx, const SchedState<C>& st) {
+  if constexpr (C::kIsSimulated) {
+    return st.cancel.vdeadline > 0 && ctx.now() > st.cancel.vdeadline;
+  } else {
+    (void)ctx;
+    return st.cancel.host_deadline_armed &&
+           std::chrono::steady_clock::now() > st.cancel.host_deadline;
+  }
+}
+
+/// Deadline probe for SEARCH and the blocking spin loops: free until the
+/// deadline passes; then claims the record (unless a richer failure — e.g.
+/// an injected stall's — already did) and cancels.  Losers keep re-running
+/// the elections until `done` ends their spin, which is bounded and, under
+/// vtime, deterministic.
+template <exec::ExecutionContext C>
+void deadline_check(C& ctx, SchedState<C>& st) {
+  if (!deadline_expired(ctx, st)) return;
+  if (cancelled_fast(ctx, st)) return;  // threaded fast path
+  static const IndexVec kEmpty;
+  if (claim_failure_record(ctx, st)) {
+    write_failure_record(ctx, st, fault::FailureRecord::Kind::kDeadline,
+                         kNoLoop, kEmpty, 0, -1, "deadline expired", nullptr);
+  }
+  if (initiate_cancel(ctx, st)) {
+    trace::bump(ctx, &trace::Counters::deadline_expirations);
+  }
+}
+
+/// Abort probe between body iterations: no sync ops on the healthy path.
+/// Threaded workers abort on the host mirror; both engines abort on a
+/// (locally detected, deterministic under vtime) expired deadline.
+template <exec::ExecutionContext C>
+inline bool body_cancel_point(C& ctx, SchedState<C>& st) {
+  if (cancelled_fast(ctx, st)) return true;
+  if (deadline_expired(ctx, st)) {
+    deadline_check(ctx, st);
+    return true;
+  }
+  return false;
+}
+
+/// Host-side reclamation of everything a cancelled run left behind:
+/// task-pool lists, orphaned ICBs (in-pool and removed-but-unreleased), and
+/// live BAR_COUNT chains.  Call only after every worker has joined.  Feeds
+/// the auditor's drain transitions so its conservation rules hold for
+/// cancelled runs.  Returns the number of ICBs reclaimed (the caller
+/// settles `outstanding` with it).
+template <exec::ExecutionContext C>
+u64 drain_cancelled(SchedState<C>& st, audit::Auditor* auditor) {
+  st.pool.host_clear();
+  u64 drained = 0;
+  st.icbs.host_drain([&](Icb<C>* p) {
+    ++drained;
+    if (auditor != nullptr) auditor->on_drain_release(p);
+    (void)p;
+  });
+  const u64 bars = st.bars.host_clear();
+  if (auditor != nullptr) auditor->on_drain_bars(bars);
+  st.outstanding.reset(audit::sync_peek(st.outstanding) -
+                       static_cast<i64>(drained));
+  return drained;
 }
 
 // ---------------------------------------------------------------------------
@@ -341,6 +534,7 @@ bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
                        walked);
       return false;
     }
+    deadline_check(ctx, st);  // free until a deadline actually expires
     trace::bump(ctx, &trace::Counters::search_probes);
     u32 i;
     if (rotate && cursor.last_list < m &&

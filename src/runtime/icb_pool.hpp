@@ -6,6 +6,7 @@
 #pragma once
 
 #include <deque>
+#include <unordered_set>
 
 #include "audit/hooks.hpp"
 #include "common/check.hpp"
@@ -57,6 +58,25 @@ class IcbPool {
   /// Arena size (high-water mark of simultaneously live ICBs; tests verify
   /// it stays bounded by the program's activation width).
   u64 allocated() const { return allocated_; }
+
+  /// Host-side sweep of every in-use ICB (cancelled-run drain): invokes
+  /// `fn(Icb<C>*)` on each arena block not on the free list, then returns
+  /// it to the free list.  Caller must guarantee quiescence: every worker
+  /// has joined, so no lock is taken and no hook ordering is at stake.
+  template <typename Fn>
+  void host_drain(Fn&& fn) {
+    std::unordered_set<const Icb<C>*> free;
+    for (const Icb<C>* p = free_head_; p != nullptr; p = p->right) {
+      free.insert(p);
+    }
+    for (Icb<C>& node : arena_) {
+      if (free.count(&node) != 0) continue;
+      fn(&node);
+      node.right = free_head_;
+      node.left = nullptr;
+      free_head_ = &node;
+    }
+  }
 
  private:
   typename C::Sync lock_;

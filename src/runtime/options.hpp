@@ -10,7 +10,19 @@ namespace selfsched::audit {
 class Auditor;
 }
 
+namespace selfsched::fault {
+struct FaultPlan;
+}
+
 namespace selfsched::runtime {
+
+/// What the runner does when a run was cancelled (body exception, injected
+/// fault, or deadline): rethrow the failure after the team has quiesced and
+/// the pool is drained, or return normally with RunResult::failure set.
+enum class OnBodyError : u32 {
+  kThrow,   // rethrow the original body exception / throw fault::FailureError
+  kReturn,  // return the RunResult; inspect RunResult::failure
+};
 
 struct SchedOptions {
   /// Low-level iteration dispatch policy for Doall loops.
@@ -116,6 +128,26 @@ struct SchedOptions {
   /// leading-one traffic when many processors activate instances of the
   /// same loop.  1 reproduces the paper's layout exactly.
   u32 pool_shards = 1;
+
+  /// Failure policy after a cancelled run (see OnBodyError).
+  OnBodyError on_body_error = OnBodyError::kThrow;
+
+  /// Threaded engine: wall-clock deadline in milliseconds, armed at runner
+  /// entry (0 = none).  On expiry the run is cancelled and returns
+  /// a structured FailureRecord::Kind::kDeadline failure with per-worker
+  /// progress snapshots instead of hanging.
+  i64 deadline_ms = 0;
+
+  /// Virtual-time engine: deadline in virtual cycles (0 = none).  Checked
+  /// against ctx.now(), so expiry — and the resulting cancellation — is
+  /// deterministic and replayable.
+  Cycles deadline_vcycles = 0;
+
+  /// Fault-injection plan (runtime/fault.hpp): armed body-throw /
+  /// worker-stall / lock-delay faults, fired deterministically at matching
+  /// (loop, ivec, worker) points.  Not owned; FaultPlan::reset() re-arms it
+  /// between runs.  Compile-time kill switch: build with -DSELFSCHED_FAULT=0.
+  fault::FaultPlan* fault_plan = nullptr;
 
   /// Backoff cap, in pause cycles, for pool-idle spinning.
   Cycles idle_backoff_max = 1024;

@@ -43,6 +43,32 @@ std::string jnum(double v) {
   return buf;
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// failure messages carry arbitrary exception text.
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 void write_json_report(const RunResult& r, std::ostream& os) {
@@ -81,8 +107,29 @@ void write_json_report(const RunResult& r, std::ostream& os) {
       });
   os << "},\n";
   os << "  \"trace_events\": " << r.trace_events.size() << ",\n";
-  os << "  \"trace_events_dropped\": " << r.trace_events_dropped << "\n";
-  os << "}\n";
+  os << "  \"trace_events_dropped\": " << r.trace_events_dropped;
+  if (r.failure.has_value()) {
+    const fault::FailureRecord& f = *r.failure;
+    os << ",\n  \"failure\": {\"kind\": \""
+       << fault::FailureRecord::kind_name(f.kind) << "\", \"loop\": "
+       << (f.loop == kNoLoop ? -1 : static_cast<i64>(f.loop))
+       << ", \"ivec\": [";
+    for (std::size_t k = 0; k < f.ivec.size(); ++k) {
+      os << (k == 0 ? "" : ", ") << f.ivec[k];
+    }
+    os << "], \"iteration\": " << f.iteration << ", \"worker\": " << f.worker
+       << ", \"message\": " << jstr(f.message) << ", \"progress\": [";
+    for (std::size_t k = 0; k < f.progress.size(); ++k) {
+      const fault::WorkerProgress& p = f.progress[k];
+      os << (k == 0 ? "" : ", ") << "{\"worker\": " << p.worker
+         << ", \"iterations\": " << p.iterations
+         << ", \"dispatches\": " << p.dispatches
+         << ", \"searches\": " << p.searches
+         << ", \"sync_ops\": " << p.sync_ops << "}";
+    }
+    os << "]}";
+  }
+  os << "\n}\n";
 }
 
 }  // namespace selfsched::runtime

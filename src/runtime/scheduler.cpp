@@ -1,9 +1,12 @@
 #include "runtime/scheduler.hpp"
 
+#include <chrono>
 #include <cstdlib>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "audit/auditor.hpp"
@@ -79,11 +82,48 @@ void finish_audit(audit::Auditor* auditor, SchedState<C>& st,
 #endif
 }
 
+/// Post-join failure harvest for a cancelled run: copy the claimed failure
+/// record (adding per-worker progress snapshots from the already-folded
+/// stats) into the result, then host-drain every leftover — orphaned ICBs,
+/// task-pool links, live BAR_COUNT chains — so the quiescence conservation
+/// checks hold for cancelled runs too.
+template <typename C>
+void harvest_failure(SchedState<C>& st, audit::Auditor* auditor,
+                     RunResult& r) {
+  if (st.cancel.cancelled.load(std::memory_order_acquire) == 0) return;
+  fault::FailureRecord rec = st.cancel.record;
+  rec.progress.reserve(r.workers.size());
+  for (std::size_t w = 0; w < r.workers.size(); ++w) {
+    const exec::WorkerStats& s = r.workers[w];
+    fault::WorkerProgress p;
+    p.worker = static_cast<ProcId>(w);
+    p.iterations = s.iterations;
+    p.dispatches = s.dispatches;
+    p.searches = s.searches;
+    p.sync_ops = s.sync_ops;
+    rec.progress.push_back(p);
+  }
+  r.failure.emplace(std::move(rec));
+  drain_cancelled(st, auditor);
+}
+
+/// OnBodyError::kThrow: rethrow the contained body exception at the caller,
+/// or wrap the record in a FailureError when there is none (injected
+/// stalls, deadlines).
+void maybe_throw_failure(const SchedOptions& opts, const RunResult& r) {
+  if (!r.failure.has_value() || opts.on_body_error == OnBodyError::kReturn) {
+    return;
+  }
+  if (r.failure->exception) std::rethrow_exception(r.failure->exception);
+  throw fault::FailureError(*r.failure);
+}
+
 }  // namespace
 
 RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
                     const SchedOptions& opts) {
   SchedState<vtime::VContext> st(prog.tables(), opts);
+  st.cancel.vdeadline = opts.deadline_vcycles;
   vtime::Engine engine(procs, opts.trace);
   const std::unique_ptr<vtime::ScheduleController> ctrl =
       vtime::make_controller(opts.schedule, procs);
@@ -99,6 +139,7 @@ RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
     vtime::VContext ctx(engine, id, opts.costs, opts.phase_timeline);
     ctx.set_trace_sink(&rec.sink(id));
     ctx.set_audit_sink(auditing.sink);
+    ctx.set_fault_plan(opts.fault_plan);
     if (id == 0) seed_program(ctx, st);
     worker_loop(ctx, st);
     ctx.finish_timeline();
@@ -106,7 +147,6 @@ RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
     stats[id] = ctx.stats();
   });
 
-  SS_CHECK_MSG(st.pool.empty(), "task pool not drained at termination");
   RunResult r;
   r.procs = procs;
   r.makespan = makespan;
@@ -116,8 +156,11 @@ RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
   r.schedule_diverged = ctrl != nullptr && ctrl->diverged();
   r.timeline = std::move(timeline);
   harvest_trace(rec, r);
+  harvest_failure(st, auditing.sink, r);  // drains if cancelled
+  SS_CHECK_MSG(st.pool.empty(), "task pool not drained at termination");
   finish_audit(auditing.sink, st, opts, r);
   finalize(r);
+  maybe_throw_failure(opts, r);
   return r;
 }
 
@@ -131,6 +174,13 @@ RunResult run_threads_impl(const program::NestedLoopProgram& prog, u32 procs,
                            const SchedOptions& opts, Dispatch&& dispatch) {
   SS_CHECK(procs >= 1);
   SchedState<exec::RContext> st(prog.tables(), opts);
+  if (opts.deadline_ms > 0) {
+    // Armed before dispatch (single-threaded), so workers' unsynchronized
+    // deadline_expired() reads are race-free.
+    st.cancel.host_deadline_armed = true;
+    st.cancel.host_deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(opts.deadline_ms);
+  }
   trace::Recorder rec(procs, opts.trace_events, opts.trace_ring_capacity);
   const AuditSetup auditing = make_audit(opts);
   std::vector<exec::WorkerStats> stats(procs);
@@ -141,6 +191,7 @@ RunResult run_threads_impl(const program::NestedLoopProgram& prog, u32 procs,
     exec::RContext ctx(id, procs, opts.measure_phases);
     ctx.set_trace_sink(&rec.sink(id), rec.epoch());
     ctx.set_audit_sink(auditing.sink);
+    ctx.set_fault_plan(opts.fault_plan);
     start_line.arrive_and_wait();
     if (id == 0) {
       watch.reset();  // time from the moment the full team is assembled
@@ -151,14 +202,16 @@ RunResult run_threads_impl(const program::NestedLoopProgram& prog, u32 procs,
     stats[id] = ctx.stats();
   });
 
-  SS_CHECK_MSG(st.pool.empty(), "task pool not drained at termination");
   RunResult r;
   r.procs = procs;
   r.makespan = watch.elapsed_ns();
   r.workers = std::move(stats);
   harvest_trace(rec, r);
+  harvest_failure(st, auditing.sink, r);  // drains if cancelled
+  SS_CHECK_MSG(st.pool.empty(), "task pool not drained at termination");
   finish_audit(auditing.sink, st, opts, r);
   finalize(r);
+  maybe_throw_failure(opts, r);
   return r;
 }
 

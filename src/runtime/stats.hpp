@@ -3,10 +3,12 @@
 // η, and the per-iteration overhead components O1, O2/n, O3/N.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exec/context.hpp"
+#include "runtime/fault.hpp"
 #include "trace/counters.hpp"
 #include "trace/ring.hpp"
 
@@ -41,6 +43,13 @@ struct RunResult {
   /// schedule-decision trace under vtime (replayable via kReplay).
   u64 audit_violations = 0;
   std::string audit_report;
+  /// Set iff the run was cancelled (body exception, injected fault, or
+  /// deadline): the claimed failure point plus per-worker progress
+  /// snapshots.  The task pool is fully drained before the runner returns,
+  /// so a failed run leaves no scheduler state behind.  Under
+  /// OnBodyError::kThrow the runner additionally rethrows after filling
+  /// this in.
+  std::optional<fault::FailureRecord> failure;
 
   /// Processor utilization η = useful body time / (P * makespan).
   double utilization() const;

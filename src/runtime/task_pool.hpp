@@ -101,6 +101,17 @@ class TaskPool {
     return true;
   }
 
+  /// Host-side unlink of every list (cancelled-run drain; see
+  /// drain_cancelled in high_level.hpp).  Caller must guarantee quiescence:
+  /// every worker has joined.  The ICBs themselves are reclaimed separately
+  /// through IcbPool::host_drain.
+  void host_clear() {
+    for (u32 i = 0; i < m_; ++i) {
+      lists_[i].head = nullptr;
+      lists_[i].tail = nullptr;
+    }
+  }
+
  private:
   struct alignas(kCacheLine) List {
     typename C::Sync lock;

@@ -48,9 +48,12 @@ void run_body(C& ctx, const SchedState<C>& st,
 }
 
 /// One Doacross iteration: wait for the dependence source of iteration
-/// j-distance, run the head segment, post, run the tail segment.
+/// j-distance, run the head segment, post, run the tail segment.  The
+/// post-wait polls `done` once per spin round (never on the no-spin fast
+/// path) and throws fault::Cancelled on cancellation — a cancelled peer may
+/// never post the awaited flag.
 template <exec::ExecutionContext C>
-void run_doacross_iteration(C& ctx, const SchedState<C>& st,
+void run_doacross_iteration(C& ctx, SchedState<C>& st,
                             const program::InnermostDesc& d, Icb<C>& icb,
                             const IndexVec& ivec, i64 j) {
   const program::DoacrossSpec& spec = *d.doacross;
@@ -61,6 +64,8 @@ void run_doacross_iteration(C& ctx, const SchedState<C>& st,
     sync::Backoff backoff(1, st.opts.doacross_backoff_max);
     typename C::Sync& flag = icb.da_flags[j - dist];
     while (!ctx.sync_op(flag, Test::kEQ, 1, Op::kFetch).success) {
+      deadline_check(ctx, st);
+      if (cancel_requested(ctx, st)) throw fault::Cancelled{};
       trace::bump(ctx, &trace::Counters::backoff_iterations);
       ctx.pause(backoff.next());
     }
@@ -92,7 +97,35 @@ void run_doacross_iteration(C& ctx, const SchedState<C>& st,
   }
 }
 
-/// The complete per-processor scheduler: runs until the program terminates.
+/// Service an armed kWorkerStall fault at a body point.  A finite stall is
+/// a pure perturbation (pause and resume); an indefinite one (cycles == 0)
+/// claims the failure record with the stall's position — so the run's
+/// eventual failure names the wedged point — and wedges until cancellation
+/// or a deadline ends the run, then unwinds via fault::Cancelled.
+template <exec::ExecutionContext C>
+void stall_worker(C& ctx, SchedState<C>& st, const fault::FaultSpec& f,
+                  LoopId loop, const IndexVec& ivec, u32 depth, i64 j) {
+  if (f.cycles > 0) {
+    ctx.pause(f.cycles);
+    return;
+  }
+  if (claim_failure_record(ctx, st)) {
+    write_failure_record(ctx, st, fault::FailureRecord::Kind::kInjectedFault,
+                         loop, ivec, depth, j, "injected worker stall",
+                         nullptr);
+  }
+  sync::Backoff backoff(1, st.opts.idle_backoff_max);
+  for (;;) {
+    deadline_check(ctx, st);
+    if (cancel_requested(ctx, st)) throw fault::Cancelled{};
+    trace::bump(ctx, &trace::Counters::backoff_iterations);
+    ctx.pause(backoff.next());
+  }
+}
+
+/// The complete per-processor scheduler: runs until the program terminates
+/// or is cancelled (a cancelled worker drains out through SEARCH's `done`
+/// exit like a normal one).
 template <exec::ExecutionContext C>
 void worker_loop(C& ctx, SchedState<C>& st) {
   WorkerCursor<C> cursor;
@@ -105,8 +138,12 @@ void worker_loop(C& ctx, SchedState<C>& st) {
         d.doacross ? st.opts.doacross_strategy : st.opts.strategy;
 
     // --- start: grab iterations ---
+    // After cancellation every grab fails against the poisoned index words
+    // (the threaded fast path below just skips the formality), so this is
+    // the cancel point of the low-level fetch&add loop: workers fall
+    // through the grab-failure detach into SEARCH, which observes `done`.
     Dispatch grab;
-    {
+    if (!cancelled_fast(ctx, st)) {
       exec::PhaseScope<C> phase(ctx, exec::Phase::kIterSync);
       grab = dispatch_iterations(ctx, *cursor.ip, strat);
     }
@@ -132,21 +169,67 @@ void worker_loop(C& ctx, SchedState<C>& st) {
       st.pool.delete_icb(ctx, cursor.ip->pool_list, cursor.ip);
     }
 
-    // --- body: execute the grabbed iterations ---
+    // --- body: execute the grabbed iterations, containing failures ---
+    bool aborted = false;
     {
       const Cycles tb = trace::event_begin(ctx);
       exec::PhaseScope<C> phase(ctx, exec::Phase::kBody);
-      for (i64 j = grab.first; j < grab.first + grab.count; ++j) {
-        if (d.doacross) {
-          run_doacross_iteration(ctx, st, d, *cursor.ip, cursor.ivec, j);
-        } else {
-          run_body(ctx, st, d, cursor.ivec, j);
+      i64 j = grab.first;
+      try {
+        for (; j < grab.first + grab.count; ++j) {
+          if (body_cancel_point(ctx, st)) {
+            aborted = true;
+            break;
+          }
+          if (const fault::FaultSpec* f =
+                  fault::match_body(ctx, cursor.i, cursor.ivec, d.depth, j)) {
+            if (f->kind == fault::FaultKind::kBodyThrow) {
+              throw fault::InjectedFault("injected body fault");
+            }
+            stall_worker(ctx, st, *f, cursor.i, cursor.ivec, d.depth, j);
+          }
+          if (d.doacross) {
+            run_doacross_iteration(ctx, st, d, *cursor.ip, cursor.ivec, j);
+          } else {
+            run_body(ctx, st, d, cursor.ivec, j);
+          }
+          ctx.stats().iterations++;
         }
-        ctx.stats().iterations++;
+      } catch (const fault::Cancelled&) {
+        aborted = true;  // secondary casualty of a cancellation in flight
+      } catch (...) {
+        aborted = true;
+        const std::exception_ptr eptr = std::current_exception();
+        const bool injected = [&] {
+          try {
+            std::rethrow_exception(eptr);
+          } catch (const fault::InjectedFault&) {
+            return true;
+          } catch (...) {
+            return false;
+          }
+        }();
+        fail_run(ctx, st,
+                 injected ? fault::FailureRecord::Kind::kInjectedFault
+                          : fault::FailureRecord::Kind::kBodyException,
+                 cursor.i, cursor.ivec, d.depth, j,
+                 fault::describe_exception(eptr), eptr);
       }
       trace::event_end(ctx, tb, trace::EventKind::kChunk, cursor.i,
                        trace::ivec_hash(cursor.ivec, d.depth), grab.first,
                        grab.count);
+    }
+    if (aborted) {
+      // The abandoned grab never reaches icount: the instance can no longer
+      // complete, so the post-join drain reclaims it.  Detach and head for
+      // the exit through SEARCH.
+      exec::PhaseScope<C> phase(ctx, exec::Phase::kIterSync);
+      const i64 before =
+          ctx.sync_op(cursor.ip->pcount, Test::kNone, 0, Op::kDecrement)
+              .fetched;
+      audit::on_detach(ctx, cursor.ip, before);
+      attached = search(ctx, st, cursor);
+      continue;
     }
 
     // --- update: count completions; the last completer activates ---
@@ -174,26 +257,42 @@ void worker_loop(C& ctx, SchedState<C>& st) {
                          static_cast<i64>(lev), 0);
       }
       // Wait for every other attached processor to detach, then release.
+      // Cancellation can strand a peer's attachment (e.g. a worker wedged
+      // in a body), so each spin round also polls `done`; on cancellation
+      // the completer detaches without releasing — the post-join drain
+      // reclaims the instance — and drains out through SEARCH.
       {
         const Cycles tt = trace::event_begin(ctx);
         exec::PhaseScope<C> phase(ctx, exec::Phase::kTeardown);
         sync::Backoff backoff(1, st.opts.idle_backoff_max);
+        bool released = true;
         while (!ctx.sync_op(cursor.ip->pcount, Test::kEQ, 1, Op::kDecrement)
                     .success) {
+          deadline_check(ctx, st);
+          if (cancel_requested(ctx, st)) {
+            const i64 before =
+                ctx.sync_op(cursor.ip->pcount, Test::kNone, 0, Op::kDecrement)
+                    .fetched;
+            audit::on_detach(ctx, cursor.ip, before);
+            released = false;
+            break;
+          }
           trace::bump(ctx, &trace::Counters::backoff_iterations);
           ctx.pause(backoff.next());
         }
-        audit::on_detach(ctx, cursor.ip, 1);
-        charge_cost<C>(ctx, &vtime::CostModel::icb_release);
-        st.icbs.release(ctx, cursor.ip);
-        ctx.stats().icbs_released++;
-        const i64 before =
-            ctx.sync_op(st.outstanding, Test::kNone, 0, Op::kDecrement)
-                .fetched;
-        SS_DCHECK(before >= 1);
-        if (before == 1) {
-          ctx.sync_op(st.done, Test::kNone, 0, Op::kStore, 1);
-          audit::on_terminate(ctx);
+        if (released) {
+          audit::on_detach(ctx, cursor.ip, 1);
+          charge_cost<C>(ctx, &vtime::CostModel::icb_release);
+          st.icbs.release(ctx, cursor.ip);
+          ctx.stats().icbs_released++;
+          const i64 before =
+              ctx.sync_op(st.outstanding, Test::kNone, 0, Op::kDecrement)
+                  .fetched;
+          SS_DCHECK(before >= 1);
+          if (before == 1) {
+            ctx.sync_op(st.done, Test::kNone, 0, Op::kStore, 1);
+            audit::on_terminate(ctx);
+          }
         }
         trace::event_end(ctx, tt, trace::EventKind::kTeardown, cursor.i,
                          trace::ivec_hash(cursor.ivec, d.depth), 0, 0);

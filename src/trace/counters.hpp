@@ -29,6 +29,9 @@ struct Counters {
   u64 pool_deletes = 0;        // ICBs unlinked from the task pool
   u64 audit_events = 0;        // invariant-auditor hooks delivered
   u64 audit_violations = 0;    // invariant violations the auditor recorded
+  u64 cancellations = 0;       // runs cancelled (0 or 1 per run)
+  u64 faults_injected = 0;     // armed fault-injection specs that fired
+  u64 deadline_expirations = 0;  // deadlines that triggered cancellation
 
   /// Visit (name, member pointer) of every counter — single source of truth
   /// for merge(), reports and exporters.
@@ -47,6 +50,9 @@ struct Counters {
     fn("pool_deletes", &Counters::pool_deletes);
     fn("audit_events", &Counters::audit_events);
     fn("audit_violations", &Counters::audit_violations);
+    fn("cancellations", &Counters::cancellations);
+    fn("faults_injected", &Counters::faults_injected);
+    fn("deadline_expirations", &Counters::deadline_expirations);
   }
 
   void merge(const Counters& o) {

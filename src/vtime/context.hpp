@@ -23,6 +23,10 @@ namespace selfsched::audit {
 class Auditor;
 }
 
+namespace selfsched::fault {
+struct FaultPlan;
+}
+
 namespace selfsched::vtime {
 
 class VContext {
@@ -119,6 +123,13 @@ class VContext {
   void set_audit_sink(audit::Auditor* sink) { audit_sink_ = sink; }
   audit::Auditor* audit_sink() const { return audit_sink_; }
 
+  /// Fault-injection hook point (runtime/fault.hpp).  Hooks do host
+  /// matching only; a fired fault perturbs the run exclusively through
+  /// context operations (pause, sync_op), so armed vtime runs stay
+  /// deterministic and replayable.
+  void set_fault_plan(fault::FaultPlan* plan) { fault_plan_ = plan; }
+  fault::FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
   Engine* engine_;
   CostModel costs_;
@@ -126,6 +137,7 @@ class VContext {
   Phase phase_ = Phase::kOther;
   trace::WorkerSink* trace_sink_ = nullptr;
   audit::Auditor* audit_sink_ = nullptr;
+  fault::FaultPlan* fault_plan_ = nullptr;
   exec::WorkerStats stats_;
   std::optional<std::vector<exec::PhaseInterval>> timeline_;
   Cycles interval_start_ = 0;

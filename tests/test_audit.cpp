@@ -408,6 +408,92 @@ TEST(AuditInjection, ViolationReplaysDeterministicallyViaKReplay) {
   }
 }
 
+// ----------------------------------- cancelled-run cleanliness (satellite) --
+
+/// Flat Doall whose body throws midway; used to cancel runs under audit.
+program::NestedLoopProgram cancelling_prog() {
+  return workloads::flat_doall(300, nullptr,
+                               [](ProcId, const IndexVec&, i64 j) {
+                                 if (j == 100) throw std::runtime_error("x");
+                               });
+}
+
+TEST(AuditCancel, CancelledVtimeRunAuditsClean) {
+  // A cancelled run revokes published ICBs and host-drains the leftovers;
+  // the auditor's drain hooks retire them and the quiescence conservation
+  // checks (pool drained, zero live BAR_COUNT counters, outstanding == 0)
+  // must hold exactly as for a completed run.
+  Auditor auditor;
+  SchedOptions opts;
+  opts.audit_sink = &auditor;
+  opts.on_body_error = runtime::OnBodyError::kReturn;
+  const RunResult r = runtime::run_vtime(cancelling_prog(), 4, opts);
+  ASSERT_TRUE(r.failure.has_value());
+  EXPECT_EQ(r.audit_violations, 0u) << r.audit_report;
+  EXPECT_EQ(r.counters.cancellations, 1u);
+}
+
+TEST(AuditCancel, CancelledThreadedRunAuditsClean) {
+  Auditor auditor;
+  SchedOptions opts;
+  opts.audit_sink = &auditor;
+  opts.on_body_error = runtime::OnBodyError::kReturn;
+  const RunResult r = runtime::run_threads(cancelling_prog(), 4, opts);
+  ASSERT_TRUE(r.failure.has_value());
+  EXPECT_EQ(r.audit_violations, 0u) << r.audit_report;
+}
+
+TEST(AuditCancel, DrainedStateIsEmptyAfterCancellation) {
+  // Drive the scheduler by hand so the pool / ICB arena / BAR_COUNT table
+  // are inspectable after the cancellation drain: everything must be back
+  // to zero, with the auditor counting the drained releases as retired.
+  const auto prog = cancelling_prog();
+  Auditor auditor;
+  runtime::SchedState<vtime::VContext> st(prog.tables(), SchedOptions{});
+  vtime::Engine engine(4);
+  engine.run([&](ProcId id) {
+    vtime::VContext ctx(engine, id, vtime::CostModel::cedar());
+    ctx.set_audit_sink(&auditor);
+    if (id == 0) runtime::seed_program(ctx, st);
+    runtime::worker_loop(ctx, st);
+  });
+  ASSERT_EQ(st.cancel.cancelled.load(), 1u);
+  runtime::drain_cancelled(st, &auditor);
+  EXPECT_TRUE(st.pool.empty());
+  EXPECT_EQ(st.bars.live_counters(), 0u);
+  EXPECT_EQ(audit::sync_peek(st.outstanding), 0);
+  EXPECT_EQ(auditor.on_quiescence(st.pool.empty(), st.bars.live_counters(),
+                                  audit::sync_peek(st.outstanding)),
+            0u);
+  EXPECT_EQ(auditor.violation_count(), 0u) << auditor.report();
+}
+
+TEST(AuditCancel, DrainWithoutCancelIsAViolation) {
+  // The drain hooks are only legal after on_cancel: releasing a published
+  // ICB behind the scheduler's back on a healthy run must be flagged.
+  Auditor a;
+  int icb = 0;
+  a.on_acquire(0, &icb);
+  a.on_publish(0, &icb, 0, 0, 4, 1);
+  EXPECT_GE(a.on_drain_release(&icb), 1u);
+  EXPECT_TRUE(has_rule(a, "drain-without-cancel"));
+  Auditor b;
+  EXPECT_GE(b.on_drain_bars(2), 1u);
+  EXPECT_TRUE(has_rule(b, "drain-without-cancel"));
+}
+
+TEST(AuditCancel, DrainAfterCancelRetiresPublishedIcbs) {
+  Auditor a;
+  int icb = 0;
+  a.on_acquire(0, &icb);
+  a.on_publish(0, &icb, 0, 0, 4, 1);
+  a.on_cancel(2);
+  EXPECT_EQ(a.on_drain_release(&icb), 0u);
+  // Retired: quiescence must not see it as leaked.
+  EXPECT_EQ(a.on_quiescence(true, 0, 0), 0u);
+  EXPECT_EQ(a.violation_count(), 0u) << a.report();
+}
+
 #endif  // SELFSCHED_AUDIT
 
 }  // namespace

@@ -392,6 +392,42 @@ TEST(Backoff, DoublesAndCaps) {
   EXPECT_EQ(b.next(), 2);
 }
 
+TEST(Backoff, GrowthIsMonotoneAndNeverExceedsTheCap) {
+  // Non-power-of-two cap: doubling from 3 gives 3,6,12,24,48 — one more
+  // doubling would pass 50, so the sequence parks exactly at the cap.
+  Backoff b(3, 50);
+  Cycles prev = 0;
+  for (int k = 0; k < 64; ++k) {
+    const Cycles c = b.next();
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 50);
+    prev = c;
+  }
+  EXPECT_EQ(prev, 50);
+}
+
+TEST(Backoff, ResetRestartsFromTheInitialValueEveryTime) {
+  Backoff b(4, 4096);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(b.next(), 4);
+    EXPECT_EQ(b.next(), 8);
+    b.reset();
+  }
+}
+
+TEST(Backoff, CapAtOrBelowInitialPinsTheSequence) {
+  // The Doacross wait uses a tight cap (doacross_backoff_max); a cap equal
+  // to the initial value must degenerate to a constant pause, not zero.
+  Backoff b(16, 16);
+  EXPECT_EQ(b.next(), 16);
+  EXPECT_EQ(b.next(), 16);
+  Backoff d;  // defaults: initial 1, cap 1024
+  EXPECT_EQ(d.next(), 1);
+  Cycles last = 0;
+  for (int k = 0; k < 20; ++k) last = d.next();
+  EXPECT_EQ(last, 1024);
+}
+
 TEST(SpinBarrier, RendezvousRepeats) {
   constexpr u32 kThreads = 4;
   SpinBarrier barrier(kThreads);

@@ -1,8 +1,10 @@
 // Tests of the persistent worker team and the run_threads_on entry point.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include "exec/thread_team.hpp"
 #include "runtime/scheduler.hpp"
@@ -63,6 +65,55 @@ TEST(ThreadTeam, SequentialWorkloadsSeeFreshState) {
   auto p2 = k2.make_program();
   runtime::run_threads_on(team, p2);
   EXPECT_EQ(k2.verify(), 0.0);
+}
+
+TEST(ThreadTeam, CallerExceptionLeavesTheTeamReusable) {
+  // Regression: run() used to skip the members-done wait when fn(0) threw,
+  // leaving remaining_ > 0 — the next run() (or the destructor's join)
+  // would then deadlock.  The members are beyond recall once dispatched, so
+  // run() must wait for them, reset, and only then propagate.
+  exec::ThreadTeam team(4);
+  std::array<std::atomic<int>, 4> hits{};
+  EXPECT_THROW(team.run([&](ProcId id) {
+                 hits[id].fetch_add(1);
+                 if (id == 0) throw std::runtime_error("caller failed");
+               }),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  // The team must be fully usable for another round...
+  std::array<std::atomic<int>, 4> again{};
+  team.run([&](ProcId id) { again[id].fetch_add(1); });
+  for (const auto& h : again) EXPECT_EQ(h.load(), 1);
+  // ...and throwing repeatedly must not wedge the destructor either.
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(team.run([&](ProcId id) {
+                   if (id == 0) throw std::runtime_error("again");
+                 }),
+                 std::runtime_error);
+  }
+}
+
+TEST(ThreadTeam, BodyExceptionOnTeamRunIsContained) {
+  // run_threads_on contains body exceptions inside worker_loop, so a
+  // throwing body surfaces as a structured failure, not a std::terminate
+  // on a member thread — and the team survives for the next run.
+  exec::ThreadTeam team(3);
+  auto prog = workloads::flat_doall(200, nullptr,
+                                    [](ProcId, const IndexVec&, i64 j) {
+                                      if (j == 50) throw std::logic_error("x");
+                                    });
+  runtime::SchedOptions opts;
+  opts.on_body_error = runtime::OnBodyError::kReturn;
+  const auto r = runtime::run_threads_on(team, prog, opts);
+  ASSERT_TRUE(r.failure.has_value());
+  EXPECT_EQ(r.failure->iteration, 50);
+
+  auto clean = workloads::flat_doall(
+      300, [](const IndexVec&, i64) -> Cycles { return 10; });
+  const auto r2 = runtime::run_threads_on(team, clean);
+  EXPECT_EQ(r2.total.iterations, 300u);
+  EXPECT_FALSE(r2.failure.has_value());
 }
 
 }  // namespace

@@ -65,6 +65,41 @@ def run_overhead_bench(build_dir):
     return metrics
 
 
+def run_fault_overhead_bench(build_dir):
+    """Fault-injection hook cost ratios (bench_fault_overhead): wall-clock,
+    informational, never gated.  Parses the bench's table — the vs_bare
+    column of the non-bare rows is the disabled-path overhead the ISSUE
+    bounds at 2%."""
+    exe = os.path.join(build_dir, "bench", "bench_fault_overhead")
+    if not os.path.exists(exe):
+        print(f"bench_gate: note: {exe} not built, skipping fault bench")
+        return []
+    proc = subprocess.run([exe], capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("bench_gate: note: bench_fault_overhead failed, skipping:"
+              f" {proc.stderr.strip()[:200]}")
+        return []
+    metrics = []
+    for line in proc.stdout.splitlines():
+        cells = [c.strip() for c in line.split("|")]
+        if len(cells) != 4 or cells[0].startswith(("config", "bare")):
+            continue
+        try:
+            ratio = float(cells[3])
+        except ValueError:
+            continue
+        slug = cells[0].split(" (")[0].replace(" ", "_").replace(",", "")
+        metrics.append({
+            "name": f"fault_overhead/{slug}_vs_bare",
+            "value": ratio,
+            "unit": "ratio",
+            "better": "less",
+            "deterministic": False,
+            "gate": False,
+        })
+    return metrics
+
+
 def compare(baseline, current, tolerance):
     """Return (regressions, improvements, compared, only_base, only_cur,
     malformed) over gated metrics.  A metric missing "value"/"better" lands
@@ -177,6 +212,7 @@ def main():
                                             "bench_search_tmp.json"))
     if not args.skip_gbench:
         metrics += run_overhead_bench(args.build_dir)
+        metrics += run_fault_overhead_bench(args.build_dir)
 
     current = {"schema": SCHEMA, "max_procs": args.max_procs,
                "metrics": metrics}

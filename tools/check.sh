@@ -10,6 +10,11 @@
 #                                  # auditor live (SELFSCHED_AUDIT=1 env:
 #                                  # every run is audited, violations abort),
 #                                  # then an ASan build of the same tiers
+#   tools/check.sh --faults        # fault-tolerance suite (test_fault +
+#                                  # cancellation-adjacent tests) under TSan,
+#                                  # then audited under ASan — the
+#                                  # cancellation/drain paths are exactly
+#                                  # where races and leaks would hide
 #   tools/check.sh --label unit    # restrict ctest to one tier
 #                                  # (unit | stress | explore; repeatable
 #                                  #  via ctest's -L regex semantics)
@@ -23,18 +28,41 @@ JOBS="${CMAKE_BUILD_PARALLEL_LEVEL:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/
 FAST=0
 EXPLORE=0
 AUDIT=0
+FAULTS=0
 LABEL=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) FAST=1; shift ;;
     --explore) EXPLORE=1; shift ;;
     --audit) AUDIT=1; shift ;;
+    --faults) FAULTS=1; shift ;;
     --label) LABEL="${2:?--label needs an argument}"; shift 2 ;;
     *) echo "usage: tools/check.sh [--fast] [--explore] [--audit]" \
-            "[--label TIER]" >&2
+            "[--faults] [--label TIER]" >&2
        exit 2 ;;
   esac
 done
+
+# The fault-suite test filter: the fault tests themselves plus the suites
+# that exercise cancellation-adjacent machinery (teardown spins, Doacross
+# waits, the thread team's exception path).
+FAULT_TESTS='FaultBody|FaultInject|FaultDeadline|FaultDrain|FaultReplay|FaultHooks|FaultDoacross|AuditCancel|ThreadTeam'
+
+if [[ "$FAULTS" == 1 ]]; then
+  echo "== faults: TSan build, fault-tolerance suite =="
+  cmake -B build-tsan -S . -DSELFSCHED_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS" --target test_fault test_thread_team \
+      test_audit
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS" -R "$FAULT_TESTS")
+  echo "== faults: ASan build, audited fault-tolerance suite =="
+  cmake -B build-asan -S . -DSELFSCHED_SANITIZE=address
+  cmake --build build-asan -j "$JOBS" --target test_fault test_thread_team \
+      test_audit
+  (cd build-asan && SELFSCHED_AUDIT=1 ctest --output-on-failure -j "$JOBS" \
+      -R "$FAULT_TESTS")
+  echo "== OK (faults) =="
+  exit 0
+fi
 
 if [[ "$AUDIT" == 1 ]]; then
   echo "== audit: unit+explore tiers with SELFSCHED_AUDIT=1 =="

@@ -16,6 +16,7 @@
 #include "lang/parser.hpp"
 #include "lang/printer.hpp"
 #include "program/instance_graph.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/report.hpp"
 #include "runtime/scheduler.hpp"
 #include "trace/export.hpp"
@@ -57,6 +58,22 @@ void usage(const char* argv0) {
       "  --serial                 also run the serial oracle and report\n"
       "                           speedup against it\n"
       "\n"
+      "robustness (docs/robustness.md):\n"
+      "  --deadline-ms N          threads: cancel the run after N wall-clock\n"
+      "                           milliseconds instead of hanging\n"
+      "  --deadline-vcycles N     vtime: cancel after N virtual cycles\n"
+      "                           (deterministic)\n"
+      "  --on-body-error throw|return\n"
+      "                           rethrow a contained body exception, or\n"
+      "                           return with the failure record (default\n"
+      "                           return)\n"
+      "  --inject-throw LOOP:J    arm a body-throw fault at loop LOOP,\n"
+      "                           iteration J (repeatable)\n"
+      "  --inject-stall LOOP:J[:CYCLES]\n"
+      "                           arm a worker stall there; CYCLES=0 wedges\n"
+      "                           until cancellation or a deadline\n"
+      "  A cancelled run prints its failure record and exits with code 3.\n"
+      "\n"
       "tracing (docs/observability.md):\n"
       "  --trace-out FILE.json    record scheduler events and write a Chrome\n"
       "                           trace (open in Perfetto / about:tracing)\n"
@@ -64,6 +81,24 @@ void usage(const char* argv0) {
       "  --trace-ring N           per-worker event ring capacity (default %u)\n"
       "  --counters               print the metric counters (name=value)\n",
       argv0, runtime::SchedOptions{}.trace_ring_capacity);
+}
+
+/// "LOOP:J[:CYCLES]" → (loop, iteration, cycles); cycles left untouched when
+/// the third field is absent.
+bool parse_fault_point(const std::string& s, long long* loop, long long* j,
+                       long long* cycles) {
+  char* end = nullptr;
+  *loop = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != ':') return false;
+  const char* p = end + 1;
+  *j = std::strtoll(p, &end, 10);
+  if (end == p) return false;
+  if (*end == ':') {
+    p = end + 1;
+    *cycles = std::strtoll(p, &end, 10);
+    if (end == p || *cycles < 0) return false;
+  }
+  return *end == '\0';
 }
 
 bool parse_strategy(const std::string& s, runtime::Strategy* out) {
@@ -98,6 +133,11 @@ int main(int argc, char** argv) {
   bool gantt = false;
   u32 gantt_width = 100;
   runtime::SchedOptions opts;
+  // The CLI default is kReturn so a failed run prints its structured record
+  // (and embeds it in --json) instead of dying on an unwound exception;
+  // --on-body-error throw restores library behavior.
+  opts.on_body_error = runtime::OnBodyError::kReturn;
+  fault::FaultPlan plan;
   lang::ParseOptions popts;
 
   for (int i = 1; i < argc; ++i) {
@@ -169,6 +209,34 @@ int main(int argc, char** argv) {
           static_cast<u32>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--counters") {
       show_counters = true;
+    } else if (arg == "--deadline-ms") {
+      opts.deadline_ms = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--deadline-vcycles") {
+      opts.deadline_vcycles =
+          static_cast<Cycles>(std::strtoll(next(), nullptr, 10));
+    } else if (arg == "--on-body-error") {
+      const std::string v = next();
+      if (v == "throw") {
+        opts.on_body_error = runtime::OnBodyError::kThrow;
+      } else if (v == "return") {
+        opts.on_body_error = runtime::OnBodyError::kReturn;
+      } else {
+        std::fprintf(stderr, "--on-body-error expects throw|return\n");
+        return 2;
+      }
+    } else if (arg == "--inject-throw" || arg == "--inject-stall") {
+      long long loop = 0, j = 0, cycles = 0;
+      if (!parse_fault_point(next(), &loop, &j, &cycles)) {
+        std::fprintf(stderr, "%s expects LOOP:J%s\n", arg.c_str(),
+                     arg == "--inject-stall" ? "[:CYCLES]" : "");
+        return 2;
+      }
+      if (arg == "--inject-throw") {
+        plan.body_throw(static_cast<LoopId>(loop), j);
+      } else {
+        plan.worker_stall(static_cast<LoopId>(loop), j,
+                          static_cast<Cycles>(cycles));
+      }
     } else if (arg == "--gantt") {
       gantt = true;
       if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(
@@ -232,6 +300,7 @@ int main(int argc, char** argv) {
 
     opts.phase_timeline = gantt || !timeline_csv.empty();
     opts.trace_events = !trace_out.empty() || !events_csv.empty();
+    if (!plan.specs.empty()) opts.fault_plan = &plan;
     runtime::RunResult r;
     if (engine == "vtime") {
       r = runtime::run_vtime(prog, procs, opts);
@@ -242,6 +311,18 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::printf("%s", r.summary().c_str());
+    if (r.failure.has_value()) {
+      std::fprintf(stderr, "%s\n", r.failure->summary().c_str());
+      for (const fault::WorkerProgress& p : r.failure->progress) {
+        std::fprintf(stderr,
+                     "  worker %u: %llu iterations, %llu dispatches, "
+                     "%llu searches, %llu sync ops\n",
+                     p.worker, static_cast<unsigned long long>(p.iterations),
+                     static_cast<unsigned long long>(p.dispatches),
+                     static_cast<unsigned long long>(p.searches),
+                     static_cast<unsigned long long>(p.sync_ops));
+      }
+    }
     if (run_serial && r.makespan > 0 && engine == "vtime") {
       std::printf("speedup vs serial body time: %.2f\n",
                   serial_cycles / static_cast<double>(r.makespan));
@@ -293,10 +374,22 @@ int main(int argc, char** argv) {
       trace::write_events_csv(r.trace_events, ef);
       std::printf("events written to %s\n", events_csv.c_str());
     }
+    if (r.failure.has_value()) return 3;  // distinct from usage/parse errors
   } catch (const lang::ParseError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
+  } catch (const fault::FailureError& e) {
+    // --on-body-error throw, no original exception (stall/deadline).
+    std::fprintf(stderr, "%s\n", e.record().summary().c_str());
+    return 3;
+  } catch (const fault::InjectedFault& e) {
+    // --on-body-error throw rethrowing an armed --inject-throw: still a
+    // cancelled run, so keep the distinct exit code.
+    std::fprintf(stderr, "run failed (injected-fault): %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
+    // --on-body-error throw rethrowing the user's own body exception lands
+    // here; without a RunResult there is no record to print.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
