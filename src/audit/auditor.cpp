@@ -414,13 +414,29 @@ std::vector<Violation> Auditor::violations() const {
   return violations_;
 }
 
+void Auditor::set_scope(std::string scope) {
+  std::lock_guard lk(mu_);
+  scope_ = std::move(scope);
+}
+
+std::string Auditor::scope() const {
+  std::lock_guard lk(mu_);
+  return scope_;
+}
+
 std::string Auditor::report(
     const std::vector<ProcId>& schedule_decisions) const {
   std::lock_guard lk(mu_);
   std::string out =
-      fmt("audit: %llu violation(s) across %llu events\n",
+      fmt("audit: %llu violation(s) across %llu events",
           static_cast<unsigned long long>(violation_count_),
           static_cast<unsigned long long>(events_));
+  if (!scope_.empty()) {
+    out += " [scope: ";
+    out += scope_;
+    out += ']';
+  }
+  out += '\n';
   for (const Violation& v : violations_) {
     out += fmt("  [%s] worker=%u loop=%lld ivec#=%016llx icb#=%llu: ",
                v.rule.c_str(), v.worker,

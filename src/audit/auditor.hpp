@@ -125,6 +125,12 @@ class Auditor {
   /// `live_bar_counters` of BarCountTable::live_counters().
   u32 on_quiescence(bool pool_empty, u64 live_bar_counters, i64 outstanding);
 
+  /// Label this auditor with the namespace it audits (e.g. a serve tenant:
+  /// "tenant 3 sub 17").  Reports lead with it, so a violation in a
+  /// many-tenant service names its namespace.  Set before hooks fire.
+  void set_scope(std::string scope);
+  std::string scope() const;
+
   /// Test-only fault injection: the next release of an ICB of `loop` is
   /// processed twice, as if the worker called IcbPool::release twice.
   void arm_double_release(LoopId loop);
@@ -174,6 +180,7 @@ class Auditor {
   bool done_seen_ = false;
   bool cancelled_ = false;      // on_cancel seen; on_drain_* become legal
   LoopId armed_double_release_ = kNoLoop;
+  std::string scope_;           // namespace label for reports
   std::vector<Violation> violations_;
 };
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <chrono>
+#include <thread>
 
 #include "common/check.hpp"
 #include "common/cpu_relax.hpp"
@@ -63,7 +64,18 @@ class RContext {
     sink_ = x;  // keep the result live
   }
 
+  /// A pause budget at the backoff escalation cap means the awaited event
+  /// is far overdue — almost always because its producer thread is
+  /// descheduled (oversubscribed box, sanitizer slowdown).  Donate the
+  /// timeslice instead of spinning through it: on a loaded single core a
+  /// cpu_relax loop burns the whole OS quantum the producer needs.
+  static constexpr Cycles kPauseYieldThreshold = 1024;
+
   void pause(Cycles c) {
+    if (c >= kPauseYieldThreshold) {
+      std::this_thread::yield();
+      return;
+    }
     for (Cycles i = 0; i < c; ++i) cpu_relax();
   }
 

@@ -197,6 +197,7 @@ struct FailureRecord {
     kBodyException,  // an iteration body threw
     kInjectedFault,  // an armed FaultSpec fired (throw or indefinite stall)
     kDeadline,       // SchedOptions deadline expired
+    kCancelled,      // externally cancelled (serve::Handle::cancel, stop)
   };
 
   Kind kind = Kind::kBodyException;
@@ -236,6 +237,7 @@ struct FailureRecord {
       case Kind::kBodyException: return "body-exception";
       case Kind::kInjectedFault: return "injected-fault";
       case Kind::kDeadline: return "deadline";
+      case Kind::kCancelled: return "cancelled";
     }
     return "?";
   }

@@ -489,6 +489,16 @@ void enter(C& ctx, SchedState<C>& st, LoopId cur, Level level,
   }
 }
 
+/// Why SEARCH ended.  kYield exists for resident services (src/serve/):
+/// a detached worker may leave the namespace between probe rounds to be
+/// rescheduled onto another program; the namespace's own state is unchanged
+/// (a yielding searcher holds no attachment, no lock, no grabbed work).
+enum class SearchOutcome : u32 {
+  kAttached,  // cursor points at an instance this worker is attached to
+  kDone,      // the program terminated (or was cancelled); worker drains out
+  kYield,     // the yield predicate fired while detached
+};
+
 // ---------------------------------------------------------------------------
 // SEARCH — Algorithm 4, with two scalability refinements over the paper's
 // scan-from-bit-0 discipline (both off under SchedOptions::search_rotate =
@@ -507,8 +517,9 @@ void enter(C& ctx, SchedState<C>& st, LoopId cur, Level level,
 // clear SW(i) while walking so other searchers divert to other lists;
 // restore it before unlocking.
 // ---------------------------------------------------------------------------
-template <exec::ExecutionContext C>
-bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
+template <exec::ExecutionContext C, typename YieldFn>
+SearchOutcome search_until(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor,
+                           YieldFn&& should_yield) {
   exec::PhaseScope<C> phase(ctx, exec::Phase::kSearch);
   const Cycles ts = trace::event_begin(ctx);
   i64 walked = 0;  // list nodes examined, reported in the kSearch event
@@ -532,7 +543,14 @@ bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
     if (ctx.sync_op(st.done, Test::kNE, 0, Op::kFetch).success) {
       trace::event_end(ctx, ts, trace::EventKind::kSearch, kNoLoop, 0, -1,
                        walked);
-      return false;
+      return SearchOutcome::kDone;
+    }
+    if (should_yield()) {
+      // Detached and lock-free at every probe boundary: leaving here is
+      // invisible to the namespace.
+      trace::event_end(ctx, ts, trace::EventKind::kSearch, kNoLoop, 0, -2,
+                       walked);
+      return SearchOutcome::kYield;
     }
     deadline_check(ctx, st);  // free until a deadline actually expires
     trace::bump(ctx, &trace::Counters::search_probes);
@@ -625,7 +643,7 @@ bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
                        trace::ivec_hash(cursor.ivec,
                                         st.prog->loops[cursor.i].depth),
                        static_cast<i64>(i), walked);
-      return true;
+      return SearchOutcome::kAttached;
     }
     trace::bump(ctx, &trace::Counters::search_retries);
     rotate_past(i);
@@ -639,6 +657,13 @@ bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
       ctx.pause(backoff.next());
     }
   }
+}
+
+/// The paper's SEARCH: run until attached or the program is done.
+template <exec::ExecutionContext C>
+bool search(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor) {
+  return search_until(ctx, st, cursor, [] { return false; }) ==
+         SearchOutcome::kAttached;
 }
 
 }  // namespace selfsched::runtime

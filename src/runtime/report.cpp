@@ -108,6 +108,19 @@ void write_json_report(const RunResult& r, std::ostream& os) {
   os << "},\n";
   os << "  \"trace_events\": " << r.trace_events.size() << ",\n";
   os << "  \"trace_events_dropped\": " << r.trace_events_dropped;
+  if (!r.tenants.empty()) {
+    os << ",\n  \"tenants\": [";
+    for (std::size_t k = 0; k < r.tenants.size(); ++k) {
+      const TenantStats& t = r.tenants[k];
+      os << (k == 0 ? "" : ", ") << "{\"tenant\": " << t.tenant
+         << ", \"priority\": " << t.priority
+         << ", \"submissions\": " << t.submissions
+         << ", \"queue_wait\": " << t.queue_wait
+         << ", \"granted\": " << t.granted << ", \"slices\": " << t.slices
+         << ", \"preemptions\": " << t.preemptions << "}";
+    }
+    os << "]";
+  }
   if (r.failure.has_value()) {
     const fault::FailureRecord& f = *r.failure;
     os << ",\n  \"failure\": {\"kind\": \""

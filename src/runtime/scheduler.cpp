@@ -1,165 +1,50 @@
 #include "runtime/scheduler.hpp"
 
-#include <chrono>
-#include <cstdlib>
-#include <exception>
 #include <functional>
-#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
 
-#include "audit/auditor.hpp"
-#include "audit/hooks.hpp"
 #include "common/stopwatch.hpp"
 #include "exec/real_context.hpp"
-#include "runtime/high_level.hpp"
+#include "runtime/run_lifecycle.hpp"
 #include "runtime/worker.hpp"
 #include "sync/barrier.hpp"
-#include "trace/recorder.hpp"
 #include "vtime/context.hpp"
 #include "vtime/engine.hpp"
 #include "vtime/schedule_ctrl.hpp"
 
 namespace selfsched::runtime {
 
-namespace {
-
-void harvest_trace(const trace::Recorder& rec, RunResult& r) {
-  r.counters = rec.fold_counters();
-  r.trace_events = rec.harvest_events();
-  r.trace_events_dropped = rec.events_dropped();
-}
-
-/// SELFSCHED_AUDIT=1 in the environment audits every run in the process —
-/// how the CI audit job and `check.sh --audit` audit a whole ctest suite
-/// without touching any test.
-#if SELFSCHED_AUDIT
-bool audit_env_enabled() {
-  const char* e = std::getenv("SELFSCHED_AUDIT");
-  return e != nullptr && e[0] != '\0' && !(e[0] == '0' && e[1] == '\0');
-}
-#endif
-
-/// The run's auditor: the caller-provided external one, a run-internal one
-/// when auditing is requested, or none.
-struct AuditSetup {
-  std::unique_ptr<audit::Auditor> owned;
-  audit::Auditor* sink = nullptr;
-};
-
-AuditSetup make_audit(const SchedOptions& opts) {
-  AuditSetup s;
-#if SELFSCHED_AUDIT
-  s.sink = opts.audit_sink;
-  if (s.sink == nullptr && (opts.audit || audit_env_enabled())) {
-    s.owned = std::make_unique<audit::Auditor>();
-    s.sink = s.owned.get();
-  }
-#else
-  (void)opts;
-#endif
-  return s;
-}
-
-/// End-of-run conservation checks + report harvest; call after every worker
-/// has joined and RunResult::schedule_decisions is filled in.
-template <typename C>
-void finish_audit(audit::Auditor* auditor, SchedState<C>& st,
-                  const SchedOptions& opts, RunResult& r) {
-#if SELFSCHED_AUDIT
-  if (auditor == nullptr) return;
-  auditor->on_quiescence(st.pool.empty(), st.bars.live_counters(),
-                         audit::sync_peek(st.outstanding));
-  r.audit_violations = auditor->violation_count();
-  r.audit_report = auditor->report(r.schedule_decisions);
-  SS_CHECK_MSG(!opts.audit_abort || r.audit_violations == 0, r.audit_report);
-#else
-  (void)auditor;
-  (void)st;
-  (void)opts;
-  (void)r;
-#endif
-}
-
-/// Post-join failure harvest for a cancelled run: copy the claimed failure
-/// record (adding per-worker progress snapshots from the already-folded
-/// stats) into the result, then host-drain every leftover — orphaned ICBs,
-/// task-pool links, live BAR_COUNT chains — so the quiescence conservation
-/// checks hold for cancelled runs too.
-template <typename C>
-void harvest_failure(SchedState<C>& st, audit::Auditor* auditor,
-                     RunResult& r) {
-  if (st.cancel.cancelled.load(std::memory_order_acquire) == 0) return;
-  fault::FailureRecord rec = st.cancel.record;
-  rec.progress.reserve(r.workers.size());
-  for (std::size_t w = 0; w < r.workers.size(); ++w) {
-    const exec::WorkerStats& s = r.workers[w];
-    fault::WorkerProgress p;
-    p.worker = static_cast<ProcId>(w);
-    p.iterations = s.iterations;
-    p.dispatches = s.dispatches;
-    p.searches = s.searches;
-    p.sync_ops = s.sync_ops;
-    rec.progress.push_back(p);
-  }
-  r.failure.emplace(std::move(rec));
-  drain_cancelled(st, auditor);
-}
-
-/// OnBodyError::kThrow: rethrow the contained body exception at the caller,
-/// or wrap the record in a FailureError when there is none (injected
-/// stalls, deadlines).
-void maybe_throw_failure(const SchedOptions& opts, const RunResult& r) {
-  if (!r.failure.has_value() || opts.on_body_error == OnBodyError::kReturn) {
-    return;
-  }
-  if (r.failure->exception) std::rethrow_exception(r.failure->exception);
-  throw fault::FailureError(*r.failure);
-}
-
-}  // namespace
-
 RunResult run_vtime(const program::NestedLoopProgram& prog, u32 procs,
                     const SchedOptions& opts) {
-  SchedState<vtime::VContext> st(prog.tables(), opts);
-  st.cancel.vdeadline = opts.deadline_vcycles;
+  ProgramRun<vtime::VContext> run(prog.tables(), opts, procs);
   vtime::Engine engine(procs, opts.trace);
   const std::unique_ptr<vtime::ScheduleController> ctrl =
       vtime::make_controller(opts.schedule, procs);
   engine.set_schedule_controller(ctrl.get());
   engine.set_record_schedule(opts.record_schedule);
-  trace::Recorder rec(procs, opts.trace_events, opts.trace_ring_capacity);
-  const AuditSetup auditing = make_audit(opts);
-  std::vector<exec::WorkerStats> stats(procs);
   std::vector<std::vector<exec::PhaseInterval>> timeline(
       opts.phase_timeline ? procs : 0);
 
   const Cycles makespan = engine.run([&](ProcId id) {
     vtime::VContext ctx(engine, id, opts.costs, opts.phase_timeline);
-    ctx.set_trace_sink(&rec.sink(id));
-    ctx.set_audit_sink(auditing.sink);
+    ctx.set_trace_sink(&run.rec.sink(id));
+    ctx.set_audit_sink(run.auditing.sink);
     ctx.set_fault_plan(opts.fault_plan);
-    if (id == 0) seed_program(ctx, st);
-    worker_loop(ctx, st);
+    if (id == 0) seed_program(ctx, run.st);
+    worker_loop(ctx, run.st);
     ctx.finish_timeline();
     if (opts.phase_timeline) timeline[id] = ctx.take_timeline();
-    stats[id] = ctx.stats();
+    run.stats[id] = ctx.stats();
   });
 
-  RunResult r;
-  r.procs = procs;
-  r.makespan = makespan;
-  r.workers = std::move(stats);
-  r.engine_ops = engine.total_ops();
-  r.schedule_decisions = engine.schedule_decisions();
-  r.schedule_diverged = ctrl != nullptr && ctrl->diverged();
-  r.timeline = std::move(timeline);
-  harvest_trace(rec, r);
-  harvest_failure(st, auditing.sink, r);  // drains if cancelled
-  SS_CHECK_MSG(st.pool.empty(), "task pool not drained at termination");
-  finish_audit(auditing.sink, st, opts, r);
-  finalize(r);
+  RunResult pre;
+  pre.engine_ops = engine.total_ops();
+  pre.schedule_decisions = engine.schedule_decisions();
+  pre.schedule_diverged = ctrl != nullptr && ctrl->diverged();
+  pre.timeline = std::move(timeline);
+  RunResult r = run.finish(procs, makespan, std::move(pre));
   maybe_throw_failure(opts, r);
   return r;
 }
@@ -173,44 +58,26 @@ template <typename Dispatch>
 RunResult run_threads_impl(const program::NestedLoopProgram& prog, u32 procs,
                            const SchedOptions& opts, Dispatch&& dispatch) {
   SS_CHECK(procs >= 1);
-  SchedState<exec::RContext> st(prog.tables(), opts);
-  if (opts.deadline_ms > 0) {
-    // Armed before dispatch (single-threaded), so workers' unsynchronized
-    // deadline_expired() reads are race-free.
-    st.cancel.host_deadline_armed = true;
-    st.cancel.host_deadline = std::chrono::steady_clock::now() +
-                              std::chrono::milliseconds(opts.deadline_ms);
-  }
-  trace::Recorder rec(procs, opts.trace_events, opts.trace_ring_capacity);
-  const AuditSetup auditing = make_audit(opts);
-  std::vector<exec::WorkerStats> stats(procs);
+  ProgramRun<exec::RContext> run(prog.tables(), opts, procs);
   sync::SpinBarrier start_line(procs);
   Stopwatch watch;
 
   dispatch([&](ProcId id) {
     exec::RContext ctx(id, procs, opts.measure_phases);
-    ctx.set_trace_sink(&rec.sink(id), rec.epoch());
-    ctx.set_audit_sink(auditing.sink);
+    ctx.set_trace_sink(&run.rec.sink(id), run.rec.epoch());
+    ctx.set_audit_sink(run.auditing.sink);
     ctx.set_fault_plan(opts.fault_plan);
     start_line.arrive_and_wait();
     if (id == 0) {
       watch.reset();  // time from the moment the full team is assembled
-      seed_program(ctx, st);
+      seed_program(ctx, run.st);
     }
-    worker_loop(ctx, st);
+    worker_loop(ctx, run.st);
     ctx.finish();
-    stats[id] = ctx.stats();
+    run.stats[id] = ctx.stats();
   });
 
-  RunResult r;
-  r.procs = procs;
-  r.makespan = watch.elapsed_ns();
-  r.workers = std::move(stats);
-  harvest_trace(rec, r);
-  harvest_failure(st, auditing.sink, r);  // drains if cancelled
-  SS_CHECK_MSG(st.pool.empty(), "task pool not drained at termination");
-  finish_audit(auditing.sink, st, opts, r);
-  finalize(r);
+  RunResult r = run.finish(procs, watch.elapsed_ns());
   maybe_throw_failure(opts, r);
   return r;
 }

@@ -14,6 +14,32 @@
 
 namespace selfsched::runtime {
 
+/// Per-tenant accounting of a serve::Service execution: how long the
+/// tenant's submissions queued and how much worker time the dispatcher
+/// granted them.  Attached to each served RunResult (one row, the run's own
+/// tenant) and aggregated across runs by Service::tenant_snapshot() — the
+/// granted-cycle counters are the fairness evidence docs/serving.md
+/// describes.  Units follow the service mode: thread-CPU nanoseconds
+/// (threaded — wall time would bill descheduled workers on oversubscribed
+/// hosts, drowning the fairness signal) or virtual cycles (deterministic).
+struct TenantStats {
+  u64 tenant = 0;
+  u32 priority = 0;
+  u64 submissions = 0;  // runs folded into this row
+  Cycles queue_wait = 0;  // submit -> first dispatch
+  Cycles granted = 0;     // worker time granted across all slices
+  u64 slices = 0;         // worker slices granted
+  u64 preemptions = 0;    // slices ended by the slice budget
+
+  void merge(const TenantStats& o) {
+    submissions += o.submissions;
+    queue_wait += o.queue_wait;
+    granted += o.granted;
+    slices += o.slices;
+    preemptions += o.preemptions;
+  }
+};
+
 struct RunResult {
   u32 procs = 0;
   /// Virtual cycles (vtime engine) or wall nanoseconds (threaded engine).
@@ -50,6 +76,8 @@ struct RunResult {
   /// OnBodyError::kThrow the runner additionally rethrows after filling
   /// this in.
   std::optional<fault::FailureRecord> failure;
+  /// Per-tenant rows (serve::Service runs only; empty for batch runs).
+  std::vector<TenantStats> tenants;
 
   /// Processor utilization η = useful body time / (P * makespan).
   double utilization() const;

@@ -123,16 +123,40 @@ void stall_worker(C& ctx, SchedState<C>& st, const fault::FaultSpec& f,
   }
 }
 
-/// The complete per-processor scheduler: runs until the program terminates
-/// or is cancelled (a cancelled worker drains out through SEARCH's `done`
-/// exit like a normal one).
-template <exec::ExecutionContext C>
-void worker_loop(C& ctx, SchedState<C>& st) {
+/// How a worker_session ended.
+enum class SessionExit : u32 {
+  kDone,   // the program terminated (or was cancelled and drained)
+  kYield,  // the yield predicate fired; the namespace still has live work
+};
+
+/// The complete per-processor scheduler: runs until the program terminates,
+/// is cancelled (a cancelled worker drains out through SEARCH's `done` exit
+/// like a normal one), or `should_yield` fires.  Yield points sit only
+/// where the worker is detachable without abandoning obligations: inside
+/// SEARCH (already detached) and at the top of the dispatch cycle, where
+/// detaching is exactly the failed-grab path.  Grabbed iterations always
+/// run to completion before a yield, so every Doacross dependence source
+/// that has been dispatched is posted by a worker that is still executing —
+/// a yielding team cannot strand a posted-on flag (see docs/serving.md for
+/// the cross-program liveness argument).
+template <exec::ExecutionContext C, typename YieldFn>
+SessionExit worker_session(C& ctx, SchedState<C>& st,
+                           YieldFn&& should_yield) {
   WorkerCursor<C> cursor;
   cursor.ivec.resize(st.prog->max_depth);
 
-  bool attached = search(ctx, st, cursor);
-  while (attached) {
+  SearchOutcome found = search_until(ctx, st, cursor, should_yield);
+  while (found == SearchOutcome::kAttached) {
+    if (should_yield()) {
+      // Detach exactly like a failed grab; the instance keeps its other
+      // processors and stays findable in the pool.
+      exec::PhaseScope<C> phase(ctx, exec::Phase::kIterSync);
+      const i64 before =
+          ctx.sync_op(cursor.ip->pcount, Test::kNone, 0, Op::kDecrement)
+              .fetched;
+      audit::on_detach(ctx, cursor.ip, before);
+      return SessionExit::kYield;
+    }
     const program::InnermostDesc& d = st.prog->loops[cursor.i];
     const Strategy& strat =
         d.doacross ? st.opts.doacross_strategy : st.opts.strategy;
@@ -156,7 +180,7 @@ void worker_loop(C& ctx, SchedState<C>& st) {
                 .fetched;
         audit::on_detach(ctx, cursor.ip, before);
       }
-      attached = search(ctx, st, cursor);
+      found = search_until(ctx, st, cursor, should_yield);
       continue;
     }
     ctx.stats().dispatches++;
@@ -228,7 +252,7 @@ void worker_loop(C& ctx, SchedState<C>& st) {
           ctx.sync_op(cursor.ip->pcount, Test::kNone, 0, Op::kDecrement)
               .fetched;
       audit::on_detach(ctx, cursor.ip, before);
-      attached = search(ctx, st, cursor);
+      found = search_until(ctx, st, cursor, should_yield);
       continue;
     }
 
@@ -297,10 +321,19 @@ void worker_loop(C& ctx, SchedState<C>& st) {
         trace::event_end(ctx, tt, trace::EventKind::kTeardown, cursor.i,
                          trace::ivec_hash(cursor.ivec, d.depth), 0, 0);
       }
-      attached = search(ctx, st, cursor);
+      found = search_until(ctx, st, cursor, should_yield);
     }
     // else: keep scheduling from the same ICB (goto start).
   }
+  return found == SearchOutcome::kYield ? SessionExit::kYield
+                                        : SessionExit::kDone;
+}
+
+/// The batch runners' worker: never yields; returns when the program is
+/// done.
+template <exec::ExecutionContext C>
+void worker_loop(C& ctx, SchedState<C>& st) {
+  worker_session(ctx, st, [] { return false; });
 }
 
 /// Seed the program's initial activation (the paper's instrumented prologue)

@@ -1,0 +1,525 @@
+#include "serve/service.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "runtime/high_level.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/worker.hpp"
+
+namespace selfsched::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+u64 ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+/// CPU time consumed by the calling thread.  Fairness accounting charges
+/// tenants for CPU actually granted to them: wall time would also bill the
+/// periods the worker thread itself was descheduled, which on a loaded or
+/// sanitizer-slowed machine is co-scheduling noise an order of magnitude
+/// larger than the work being measured.
+u64 thread_cpu_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<u64>(ts.tv_sec) * 1000000000ull +
+         static_cast<u64>(ts.tv_nsec);
+#else
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now().time_since_epoch())
+                              .count());
+#endif
+}
+
+void erase_active(std::vector<std::shared_ptr<Submission>>& v,
+                  const Submission* s) {
+  for (auto it = v.begin(); it != v.end(); ++it) {
+    if (it->get() == s) {
+      v.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+runtime::RunResult Handle::await() {
+  SS_CHECK_MSG(valid(), "await() on an empty serve::Handle");
+  return svc_->await(sub_);
+}
+
+bool Handle::done() const {
+  if (!valid()) return false;
+  return svc_->await_poll(sub_);
+}
+
+bool Handle::cancel() {
+  if (!valid()) return false;
+  return svc_->cancel(sub_);
+}
+
+Service::Service(u32 procs, ServeOptions opts)
+    : procs_(procs), opts_([&] {
+        ServeOptions o = opts;
+        o.priorities = std::max(1u, o.priorities);
+        o.max_active = std::max(1u, o.max_active);
+        return o;
+      }()) {
+  SS_CHECK(procs >= 1);
+  queues_.resize(opts_.priorities);
+  if (!opts_.deterministic) {
+    // The persistent pool: P-1 parked ThreadTeam members plus the pump
+    // thread as worker 0.  One team.run() spans the service's whole life;
+    // workers park on work_cv_ between grants.
+    team_ = std::make_unique<exec::ThreadTeam>(procs_);
+    pump_ = std::thread([this] {
+      team_->run([this](ProcId id) { worker_main(id); });
+    });
+  }
+}
+
+Service::~Service() { stop(); }
+
+SubmitOutcome Service::submit(
+    std::shared_ptr<const program::NestedLoopProgram> prog, SubmitOptions s) {
+  SS_CHECK_MSG(prog != nullptr, "submit() with a null program");
+  std::lock_guard lk(mu_);
+  if (stopping_) {
+    counters_.serve_rejections++;
+    return {SubmitStatus::kStopped, Handle()};
+  }
+  if (queued_ >= opts_.max_queue_depth) {
+    counters_.serve_rejections++;
+    return {SubmitStatus::kQueueFull, Handle()};
+  }
+  const bool known_tenant = tenants_inflight_.count(s.tenant) != 0;
+  if (!known_tenant && tenants_inflight_.size() >= opts_.max_tenants) {
+    counters_.serve_rejections++;
+    return {SubmitStatus::kTooManyTenants, Handle()};
+  }
+
+  auto sub = std::make_shared<Submission>(std::move(prog));
+  sub->seq = next_seq_++;
+  sub->tenant = s.tenant;
+  sub->priority = std::min(s.priority, opts_.priorities - 1);
+  sub->deadline_ms = opts_.deterministic ? 0 : s.deadline_ms;
+  sub->submitted_at = Clock::now();
+  if (sub->deadline_ms > 0) {
+    sub->deadline_at =
+        sub->submitted_at + std::chrono::milliseconds(sub->deadline_ms);
+  }
+  sub->vsubmitted = vnow_;
+  sub->opts = s.sched;
+  // The service owns failure policy: cancellation/deadlines/body errors
+  // become structured results; nothing may unwind a pooled worker or abort
+  // the process on a tenant's audit findings.
+  sub->opts.on_body_error = runtime::OnBodyError::kReturn;
+  sub->opts.audit_abort = false;
+  sub->opts.deadline_ms = 0;  // armed by the service, from submission time
+  if (opts_.deterministic) sub->opts.record_schedule = true;
+  if (!opts_.deterministic) {
+    // Served Doacross waits escalate their backoff to the RContext yield
+    // threshold: a resident pool timeshares namespaces (and often cores),
+    // so a wait that overshoots the pipeline advance should donate its
+    // timeslice to the poster rather than spin.
+    sub->opts.doacross_backoff_max = std::max<Cycles>(
+        sub->opts.doacross_backoff_max, exec::RContext::kPauseYieldThreshold);
+  }
+
+  queues_[sub->priority].push_back(sub);
+  queued_++;
+  tenants_inflight_[s.tenant]++;
+  counters_.serve_submissions++;
+  work_cv_.notify_one();
+  return {SubmitStatus::kAccepted, Handle(this, sub)};
+}
+
+bool Service::grantable_locked() const {
+  if (active_.size() < opts_.max_active && queued_ > 0) return true;
+  for (const auto& s : active_) {
+    if (!s->done_flag && !(s->stalled && s->workers_in > 0)) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<Submission> Service::pop_queued_locked() {
+  for (auto& q : queues_) {  // index 0 = highest priority
+    while (!q.empty()) {
+      std::shared_ptr<Submission> sub = q.front();
+      q.pop_front();
+      if (sub->state != Submission::State::kQueued) continue;  // lazy-removed
+      queued_--;
+      return sub;
+    }
+  }
+  return nullptr;
+}
+
+void Service::activate_locked(const std::shared_ptr<Submission>& sub) {
+  if (opts_.deterministic) {
+    sub->queue_wait = vnow_ - sub->vsubmitted;
+    if (sub->cancel_flag.load(std::memory_order_relaxed)) {
+      finalize_unrun_locked(*sub, fault::FailureRecord::Kind::kCancelled,
+                            "cancelled while queued");
+      return;
+    }
+    sub->state = Submission::State::kActive;
+    active_.push_back(sub);
+    return;
+  }
+  const Clock::time_point now = Clock::now();
+  sub->queue_wait = ns_between(sub->submitted_at, now);
+  if (sub->cancel_flag.load(std::memory_order_relaxed)) {
+    finalize_unrun_locked(*sub, fault::FailureRecord::Kind::kCancelled,
+                          "cancelled while queued");
+    return;
+  }
+  if (sub->deadline_ms > 0 && now >= sub->deadline_at) {
+    finalize_unrun_locked(*sub, fault::FailureRecord::Kind::kDeadline,
+                          "deadline expired while queued");
+    return;
+  }
+  sub->state = Submission::State::kActive;
+  sub->started_at = now;
+  sub->run = std::make_unique<runtime::ProgramRun<exec::RContext>>(
+      sub->prog->tables(), sub->opts, procs_);
+  if (sub->run->auditing.sink != nullptr) {
+    sub->run->auditing.sink->set_scope("tenant " +
+                                       std::to_string(sub->tenant) + " sub " +
+                                       std::to_string(sub->seq));
+  }
+  // Armed under the service mutex, before any worker is granted into the
+  // namespace — the workers' unsynchronized deadline reads stay race-free.
+  if (sub->deadline_ms > 0) sub->run->arm_deadline(sub->deadline_at);
+  active_.push_back(sub);
+}
+
+u64 Service::tenant_charge_locked(u64 tenant) const {
+  u64 g = 0;
+  const auto it = tenant_totals_.find(tenant);
+  if (it != tenant_totals_.end()) g = it->second.granted;
+  const u64 slice_ns = static_cast<u64>(opts_.slice_us) * 1000u;
+  for (const auto& s : active_) {
+    if (s->tenant != tenant) continue;
+    // Count slices in flight as already granted, so concurrent arbitration
+    // spreads workers across equal-charge tenants instead of piling onto
+    // the one whose counter lags.
+    g += s->granted + static_cast<u64>(s->workers_in) * slice_ns;
+  }
+  return g;
+}
+
+std::shared_ptr<Submission> Service::admit_and_pick_locked() {
+  while (active_.size() < opts_.max_active) {
+    std::shared_ptr<Submission> next = pop_queued_locked();
+    if (next == nullptr) break;
+    activate_locked(next);  // pushes to active_ unless finalized unrun
+  }
+  // Strict across tiers, least-granted tenant within a tier, FIFO on ties.
+  std::shared_ptr<Submission> best;
+  u64 best_charge = 0;
+  for (const auto& s : active_) {
+    if (s->done_flag) continue;  // draining; its own workers finalize it
+    // Stalled with a worker still inside: that worker's slice end either
+    // clears the mark (it dispatched) or finishes the namespace.  With
+    // nobody inside the namespace must be re-probed (kept live by the
+    // workers' timed wait even if every notify was consumed elsewhere).
+    if (s->stalled && s->workers_in > 0) continue;
+    const u64 c = tenant_charge_locked(s->tenant);
+    if (best == nullptr || s->priority < best->priority ||
+        (s->priority == best->priority &&
+         (c < best_charge || (c == best_charge && s->seq < best->seq)))) {
+      best = s;
+      best_charge = c;
+    }
+  }
+  return best;
+}
+
+void Service::finalize_unrun_locked(Submission& sub,
+                                    fault::FailureRecord::Kind kind,
+                                    const char* message) {
+  runtime::RunResult r;
+  r.procs = procs_;
+  fault::FailureRecord rec;
+  rec.kind = kind;
+  rec.message = message;
+  r.failure.emplace(std::move(rec));
+  runtime::finalize(r);
+  runtime::TenantStats row;
+  row.tenant = sub.tenant;
+  row.priority = sub.priority;
+  row.submissions = 1;
+  row.queue_wait = sub.queue_wait;
+  r.tenants.push_back(row);
+  erase_active(active_, &sub);
+  sub.state = Submission::State::kFinished;
+  sub.run.reset();
+  sub.result.emplace(std::move(r));
+  retire_locked(sub, row);
+}
+
+void Service::finalize_run_locked(Submission& sub) {
+  const u64 makespan = ns_between(sub.started_at, Clock::now());
+  runtime::RunResult r = sub.run->finish(procs_, makespan);
+  r.counters.serve_preemptions += sub.preemptions;
+  runtime::TenantStats row;
+  row.tenant = sub.tenant;
+  row.priority = sub.priority;
+  row.submissions = 1;
+  row.queue_wait = sub.queue_wait;
+  row.granted = sub.granted;
+  row.slices = sub.slices;
+  row.preemptions = sub.preemptions;
+  r.tenants.push_back(row);
+  erase_active(active_, &sub);
+  sub.state = Submission::State::kFinished;
+  sub.run.reset();  // the namespace is drained; the result carries the rest
+  sub.result.emplace(std::move(r));
+  retire_locked(sub, row);
+}
+
+void Service::retire_locked(Submission& sub,
+                            const runtime::TenantStats& row) {
+  runtime::TenantStats& tot = tenant_totals_[sub.tenant];
+  tot.tenant = sub.tenant;
+  tot.priority = sub.priority;
+  tot.merge(row);
+  const auto it = tenants_inflight_.find(sub.tenant);
+  if (it != tenants_inflight_.end() && --it->second == 0) {
+    tenants_inflight_.erase(it);
+  }
+  done_cv_.notify_all();
+  work_cv_.notify_all();  // capacity may have freed; stop may be drained
+}
+
+void Service::worker_main(ProcId id) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    while (!grantable_locked() &&
+           !(stopping_ && queued_ == 0 && active_.empty())) {
+      // Timed, so a stalled namespace whose last resident worker left is
+      // re-probed without depending on a notification edge.
+      work_cv_.wait_for(lk, std::chrono::microseconds(500));
+    }
+    std::shared_ptr<Submission> sub = admit_and_pick_locked();
+    if (sub == nullptr) {
+      if (stopping_ && queued_ == 0 && active_.empty()) return;
+      continue;  // raced with another worker; re-test the predicate
+    }
+    sub->workers_in++;
+    const bool do_seed = !sub->seeded;
+    sub->seeded = true;
+    lk.unlock();
+    const SliceResult sr = run_slice(id, *sub, do_seed);
+    lk.lock();
+    sub->workers_in--;
+    sub->granted += sr.charged_ns;
+    sub->slices++;
+    if (sr.exit == runtime::SessionExit::kYield) {
+      sub->preemptions++;
+      counters_.serve_preemptions++;
+      sub->stalled = sr.iterations == 0;
+    } else {
+      sub->done_flag = true;
+    }
+    if (sub->done_flag && sub->workers_in == 0 &&
+        sub->state == Submission::State::kActive) {
+      finalize_run_locked(*sub);
+    } else {
+      // Eligibility may have changed (stalled cleared / workers_in freed).
+      work_cv_.notify_all();
+    }
+  }
+}
+
+Service::SliceResult Service::run_slice(ProcId id, Submission& sub,
+                                        bool do_seed) {
+  runtime::ProgramRun<exec::RContext>& run = *sub.run;
+  exec::RContext ctx(id, procs_, run.st.opts.measure_phases);
+  ctx.set_trace_sink(&run.rec.sink(id), run.rec.epoch());
+  ctx.set_audit_sink(run.auditing.sink);
+  ctx.set_fault_plan(run.st.opts.fault_plan);
+  const Clock::time_point start = Clock::now();
+  const u64 cpu_start = thread_cpu_ns();
+  const Clock::time_point slice_end =
+      start + std::chrono::microseconds(opts_.slice_us);
+  if (do_seed) runtime::seed_program(ctx, run.st);
+  if (sub.cancel_flag.load(std::memory_order_relaxed)) {
+    // Deliver the client's cancellation from inside the namespace: the
+    // fault layer poisons the pool and every worker drains out.
+    static const IndexVec kEmptyIvec;
+    runtime::fail_run(ctx, run.st, fault::FailureRecord::Kind::kCancelled,
+                      kNoLoop, kEmptyIvec, 0, -1, "cancelled by client",
+                      nullptr);
+  }
+  // An idle session — granted but yet to dispatch anything — parks after a
+  // short grace instead of burning the whole slice in SEARCH: those spins
+  // would otherwise be charged as granted time and wreck the granted-cycle
+  // fairness evidence for namespaces with little attachable parallelism.
+  const Clock::time_point idle_end =
+      start + std::chrono::microseconds(
+                  std::min<i64>(std::max<i64>(opts_.slice_us / 8, 10), 50));
+  u32 poll = 0;
+  const auto should_yield = [&]() -> bool {
+    if ((++poll & 0x1fu) != 0) return false;  // clock read 1-in-32 probes
+    const Clock::time_point now = Clock::now();
+    if (now >= slice_end) return true;
+    return ctx.stats().iterations == 0 && now >= idle_end;
+  };
+  const runtime::SessionExit exit =
+      runtime::worker_session(ctx, run.st, should_yield);
+  ctx.finish();
+  const u64 iterations = ctx.stats().iterations;
+  const u64 charged = thread_cpu_ns() - cpu_start;
+  run.stats[id].merge(ctx.stats());  // slot `id` has a single writer
+  return {exit, charged, iterations};
+}
+
+runtime::RunResult Service::await(const std::shared_ptr<Submission>& sub) {
+  std::unique_lock lk(mu_);
+  if (!opts_.deterministic) {
+    done_cv_.wait(lk, [&] { return sub->result.has_value(); });
+    return *sub->result;
+  }
+  // Deterministic mode: awaiters take turns driving the grant loop.
+  for (;;) {
+    if (sub->result.has_value()) return *sub->result;
+    if (driving_) {
+      done_cv_.wait(
+          lk, [&] { return !driving_ || sub->result.has_value(); });
+      continue;
+    }
+    driving_ = true;
+    drive_one_locked(lk);
+    driving_ = false;
+    done_cv_.notify_all();
+  }
+}
+
+bool Service::await_poll(const std::shared_ptr<Submission>& sub) const {
+  std::lock_guard lk(mu_);
+  return sub->result.has_value();
+}
+
+bool Service::cancel(const std::shared_ptr<Submission>& sub) {
+  std::lock_guard lk(mu_);
+  if (sub->result.has_value()) return false;
+  sub->cancel_flag.store(true, std::memory_order_relaxed);
+  if (sub->state == Submission::State::kQueued) {
+    queued_--;  // lazily removed from its deque by pop_queued_locked
+    sub->queue_wait = opts_.deterministic
+                          ? vnow_ - sub->vsubmitted
+                          : ns_between(sub->submitted_at, Clock::now());
+    finalize_unrun_locked(*sub, fault::FailureRecord::Kind::kCancelled,
+                          "cancelled while queued");
+  } else {
+    // Active: make sure a worker is granted soon to deliver the cancel.
+    work_cv_.notify_all();
+  }
+  return true;
+}
+
+void Service::drive_one_locked(std::unique_lock<std::mutex>& lk) {
+  std::shared_ptr<Submission> sub = admit_and_pick_locked();
+  if (sub == nullptr) return;
+  if (sub->cancel_flag.load(std::memory_order_relaxed)) {
+    finalize_unrun_locked(*sub, fault::FailureRecord::Kind::kCancelled,
+                          "cancelled before grant");
+    return;
+  }
+  grant_log_.push_back(sub->seq);
+  const runtime::SchedOptions o = sub->opts;
+  lk.unlock();
+  // A grant executes the whole program on the virtual-time engine —
+  // deterministic per (program, cost model, schedule spec), with the
+  // decision trace recorded.
+  runtime::RunResult r = runtime::run_vtime(*sub->prog, procs_, o);
+  lk.lock();
+  vnow_ += r.makespan;
+  sub->granted = r.makespan;
+  sub->slices = 1;
+  runtime::TenantStats row;
+  row.tenant = sub->tenant;
+  row.priority = sub->priority;
+  row.submissions = 1;
+  row.queue_wait = sub->queue_wait;
+  row.granted = sub->granted;
+  row.slices = 1;
+  r.tenants.push_back(row);
+  erase_active(active_, sub.get());
+  sub->state = Submission::State::kFinished;
+  sub->result.emplace(std::move(r));
+  retire_locked(*sub, row);
+}
+
+void Service::stop() {
+  {
+    std::unique_lock lk(mu_);
+    stopping_ = true;
+    if (opts_.deterministic) {
+      // Drain synchronously: drive every admitted submission to its result
+      // (grant order stays deterministic).
+      while (queued_ > 0 || !active_.empty()) {
+        if (driving_) {
+          done_cv_.wait(lk, [&] { return !driving_; });
+          continue;
+        }
+        driving_ = true;
+        drive_one_locked(lk);
+        driving_ = false;
+        done_cv_.notify_all();
+      }
+      return;
+    }
+    work_cv_.notify_all();
+    done_cv_.wait(lk, [&] { return queued_ == 0 && active_.empty(); });
+    work_cv_.notify_all();  // wake parked workers to observe the exit state
+  }
+  std::call_once(pump_join_, [&] {
+    if (pump_.joinable()) pump_.join();
+  });
+}
+
+std::vector<runtime::TenantStats> Service::tenant_snapshot() const {
+  std::lock_guard lk(mu_);
+  std::unordered_map<u64, runtime::TenantStats> rows = tenant_totals_;
+  for (const auto& s : active_) {
+    runtime::TenantStats& t = rows[s->tenant];
+    t.tenant = s->tenant;
+    t.priority = s->priority;
+    t.granted += s->granted;
+    t.slices += s->slices;
+    t.preemptions += s->preemptions;
+  }
+  std::vector<runtime::TenantStats> out;
+  out.reserve(rows.size());
+  for (auto& [id, row] : rows) out.push_back(row);
+  std::sort(out.begin(), out.end(),
+            [](const runtime::TenantStats& a, const runtime::TenantStats& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
+}
+
+trace::Counters Service::counters() const {
+  std::lock_guard lk(mu_);
+  return counters_;
+}
+
+std::vector<u64> Service::grant_log() const {
+  std::lock_guard lk(mu_);
+  return grant_log_;
+}
+
+}  // namespace selfsched::serve

@@ -32,6 +32,10 @@ struct Counters {
   u64 cancellations = 0;       // runs cancelled (0 or 1 per run)
   u64 faults_injected = 0;     // armed fault-injection specs that fired
   u64 deadline_expirations = 0;  // deadlines that triggered cancellation
+  u64 serve_submissions = 0;   // programs admitted by a serve::Service
+  u64 serve_rejections = 0;    // submissions refused by admission control
+  u64 serve_preemptions = 0;   // worker slices ended by the slice budget
+                               // (SessionExit::kYield), not by completion
 
   /// Visit (name, member pointer) of every counter — single source of truth
   /// for merge(), reports and exporters.
@@ -53,6 +57,9 @@ struct Counters {
     fn("cancellations", &Counters::cancellations);
     fn("faults_injected", &Counters::faults_injected);
     fn("deadline_expirations", &Counters::deadline_expirations);
+    fn("serve_submissions", &Counters::serve_submissions);
+    fn("serve_rejections", &Counters::serve_rejections);
+    fn("serve_preemptions", &Counters::serve_preemptions);
   }
 
   void merge(const Counters& o) {

@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "baselines/sequential.hpp"
 #include "exec/thread_team.hpp"
 #include "runtime/scheduler.hpp"
 #include "workloads/kernels.hpp"
@@ -91,6 +92,42 @@ TEST(ThreadTeam, CallerExceptionLeavesTheTeamReusable) {
                    if (id == 0) throw std::runtime_error("again");
                  }),
                  std::runtime_error);
+  }
+}
+
+TEST(ThreadTeam, FiftyMixedAuditedProgramsReuseOneTeam) {
+  // Regression for the serve-era lifecycle split: one persistent team must
+  // survive 50 back-to-back namespaces of mixed shape (Doall, Doacross,
+  // random mixtures) with the invariant auditor shadowing every run, and
+  // each run's iteration count must match the sequential oracle — no state
+  // may leak from one program's namespace into the next.
+  exec::ThreadTeam team(4);
+  for (u64 round = 0; round < 50; ++round) {
+    program::NestedLoopProgram prog = [&] {
+      switch (round % 3) {
+        case 0:
+          return workloads::flat_doall(
+              200 + static_cast<i64>(round),
+              [](const IndexVec&, i64) -> Cycles { return 20; });
+        case 1:
+          return workloads::doacross_chain(64, 2, 0.3, 40);
+        default: {
+          workloads::RandomProgramConfig cfg;
+          cfg.max_depth = 3;
+          cfg.max_leaf_bound = 5;
+          return workloads::random_program(7000 + round, cfg);
+        }
+      }
+    }();
+    runtime::SchedOptions opts;
+    opts.audit = true;
+    opts.audit_abort = false;
+    const auto r = runtime::run_threads_on(team, prog, opts);
+    ASSERT_FALSE(r.failure.has_value()) << "round " << round;
+    ASSERT_EQ(r.audit_violations, 0u)
+        << "round " << round << "\n" << r.audit_report;
+    const auto serial = baselines::run_sequential(prog, 1, false);
+    ASSERT_EQ(r.total.iterations, serial.iterations) << "round " << round;
   }
 }
 

@@ -100,6 +100,27 @@ def run_fault_overhead_bench(build_dir):
     return metrics
 
 
+def run_serve_bench(build_dir, tmp_path):
+    """Resident-service latency/throughput (bench_serve, E15): wall-clock
+    and host-load sensitive, informational only — every row arrives with
+    gate:false and is never compared against the baseline."""
+    exe = os.path.join(build_dir, "bench", "bench_serve")
+    if not os.path.exists(exe):
+        print(f"bench_gate: note: {exe} not built, skipping serve bench")
+        return []
+    proc = subprocess.run([exe, "--json", tmp_path, "--programs", "16",
+                           "--iters", "600"],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("bench_gate: note: bench_serve failed, skipping:"
+              f" {proc.stderr.strip()[:200]}")
+        return []
+    with open(tmp_path) as f:
+        data = json.load(f)
+    os.unlink(tmp_path)
+    return data["metrics"]
+
+
 def compare(baseline, current, tolerance):
     """Return (regressions, improvements, compared, only_base, only_cur,
     malformed) over gated metrics.  A metric missing "value"/"better" lands
@@ -213,6 +234,9 @@ def main():
     if not args.skip_gbench:
         metrics += run_overhead_bench(args.build_dir)
         metrics += run_fault_overhead_bench(args.build_dir)
+        metrics += run_serve_bench(args.build_dir,
+                                   os.path.join(args.build_dir,
+                                                "bench_serve_tmp.json"))
 
     current = {"schema": SCHEMA, "max_procs": args.max_procs,
                "metrics": metrics}

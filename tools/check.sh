@@ -15,6 +15,13 @@
 #                                  # then audited under ASan — the
 #                                  # cancellation/drain paths are exactly
 #                                  # where races and leaks would hide
+#   tools/check.sh --serve         # resident-service suite: test_serve +
+#                                  # the full serve-stress run (16
+#                                  # submitters, 224 audited programs, P=8,
+#                                  # oracle-verified, fairness asserted)
+#                                  # under TSan, then under ASan with the
+#                                  # fairness report written to
+#                                  # serve_fairness.json
 #   tools/check.sh --label unit    # restrict ctest to one tier
 #                                  # (unit | stress | explore; repeatable
 #                                  #  via ctest's -L regex semantics)
@@ -29,6 +36,7 @@ FAST=0
 EXPLORE=0
 AUDIT=0
 FAULTS=0
+SERVE=0
 LABEL=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -36,9 +44,10 @@ while [[ $# -gt 0 ]]; do
     --explore) EXPLORE=1; shift ;;
     --audit) AUDIT=1; shift ;;
     --faults) FAULTS=1; shift ;;
+    --serve) SERVE=1; shift ;;
     --label) LABEL="${2:?--label needs an argument}"; shift 2 ;;
     *) echo "usage: tools/check.sh [--fast] [--explore] [--audit]" \
-            "[--faults] [--label TIER]" >&2
+            "[--faults] [--serve] [--label TIER]" >&2
        exit 2 ;;
   esac
 done
@@ -61,6 +70,24 @@ if [[ "$FAULTS" == 1 ]]; then
   (cd build-asan && SELFSCHED_AUDIT=1 ctest --output-on-failure -j "$JOBS" \
       -R "$FAULT_TESTS")
   echo "== OK (faults) =="
+  exit 0
+fi
+
+if [[ "$SERVE" == 1 ]]; then
+  # serve-stress sets opts.audit on every submission, so both sanitizer
+  # passes run fully audited; the stress itself asserts oracle equality and
+  # the within-tier granted-cycle fairness bound.
+  echo "== serve: TSan build, service suite + stress =="
+  cmake -B build-tsan -S . -DSELFSCHED_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS" --target test_serve serve-stress
+  ./build-tsan/tests/test_serve
+  ./build-tsan/tools/serve-stress
+  echo "== serve: ASan build, audited stress + fairness report =="
+  cmake -B build-asan -S . -DSELFSCHED_SANITIZE=address
+  cmake --build build-asan -j "$JOBS" --target test_serve serve-stress
+  ./build-asan/tests/test_serve
+  ./build-asan/tools/serve-stress --json serve_fairness.json
+  echo "== OK (serve) =="
   exit 0
 fi
 

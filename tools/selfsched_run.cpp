@@ -25,8 +25,11 @@ using namespace selfsched;
 
 namespace {
 
-void usage(const char* argv0) {
-  std::printf(
+// `out` is stdout for --help (exit 0) and stderr on usage errors (exit 2),
+// so piping the report never mixes in usage text.
+void usage(const char* argv0, std::FILE* out) {
+  std::fprintf(
+      out,
       "usage: %s [options] <program.loop>\n"
       "\n"
       "engine and machine:\n"
@@ -150,7 +153,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
+      usage(argv[0], stdout);
       return 0;
     } else if (arg == "--engine") {
       engine = next();
@@ -252,8 +255,13 @@ int main(int argc, char** argv) {
       path = arg;
     }
   }
-  if (path.empty() || procs < 1) {
-    usage(argv[0]);
+  if (path.empty()) {
+    std::fprintf(stderr, "missing <program.loop> argument\n");
+    usage(argv[0], stderr);
+    return 2;
+  }
+  if (procs < 1) {
+    std::fprintf(stderr, "--procs must be >= 1\n");
     return 2;
   }
 

@@ -1,0 +1,231 @@
+// selfsched-serve: command-line front end for the resident multi-nest
+// scheduler service (src/serve/, docs/serving.md).
+//
+//   selfsched-serve [service options] [per-submission options] <prog.loop>...
+//   selfsched-serve --help
+//
+// Per-submission options (--tenant/--priority/--deadline-ms/--repeat) apply
+// to the program files that FOLLOW them, so one invocation can stage a
+// mixed-tenant, mixed-priority load:
+//
+//   selfsched-serve --procs 8 --tenant 1 a.loop --tenant 2 --priority 1 b.loop
+//
+// Every submission is awaited; the tool prints one line per result, the
+// per-tenant fairness table, and (with --counters) the service counters.
+// Exit codes follow selfsched-run: 0 ok, 1 I/O or parse error, 2 usage,
+// 3 when any submission finished with a failure record.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lang/parser.hpp"
+#include "serve/service.hpp"
+#include "trace/export.hpp"
+
+using namespace selfsched;
+
+namespace {
+
+void usage(const char* argv0, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s [options] <program.loop>...\n"
+      "\n"
+      "service:\n"
+      "  --procs N            resident worker pool size (default 8)\n"
+      "  --priorities N       priority tiers (default 2)\n"
+      "  --max-queue N        admission: max queued submissions (default 64)\n"
+      "  --max-tenants N      admission: max distinct in-flight tenants\n"
+      "                       (default 16)\n"
+      "  --max-active N       concurrently executing namespaces (default 4)\n"
+      "  --slice-us N         worker slice budget before re-arbitration\n"
+      "                       (default 500)\n"
+      "  --deterministic      virtual-time service mode: grants are\n"
+      "                       synchronous, whole-program, bit-replayable;\n"
+      "                       prints the grant log\n"
+      "\n"
+      "per-submission (apply to the program files that follow):\n"
+      "  --tenant ID          tenant namespace id (default 0)\n"
+      "  --priority P         tier, 0 = highest (default 0)\n"
+      "  --deadline-ms N      cancel this submission N ms after submit\n"
+      "                       (threads mode; 0 = none)\n"
+      "  --repeat N           submit the next file N times (default 1)\n"
+      "  --param NAME=VALUE   bind a named constant (repeatable)\n"
+      "\n"
+      "output:\n"
+      "  --counters           print the service counters (name=value)\n",
+      argv0);
+}
+
+u64 parse_u64(const char* s) {
+  return static_cast<u64>(std::strtoull(s, nullptr, 10));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u32 procs = 8;
+  serve::ServeOptions sopts;
+  serve::SubmitOptions cur;  // sticky per-submission state
+  u32 repeat = 1;
+  bool show_counters = false;
+  lang::ParseOptions popts;
+
+  struct Staged {
+    std::string path;
+    serve::SubmitOptions s;
+    u32 repeat;
+  };
+  std::vector<Staged> staged;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0], stdout);
+      return 0;
+    } else if (arg == "--procs") {
+      procs = static_cast<u32>(parse_u64(next()));
+    } else if (arg == "--priorities") {
+      sopts.priorities = static_cast<u32>(parse_u64(next()));
+    } else if (arg == "--max-queue") {
+      sopts.max_queue_depth = static_cast<u32>(parse_u64(next()));
+    } else if (arg == "--max-tenants") {
+      sopts.max_tenants = static_cast<u32>(parse_u64(next()));
+    } else if (arg == "--max-active") {
+      sopts.max_active = static_cast<u32>(parse_u64(next()));
+    } else if (arg == "--slice-us") {
+      sopts.slice_us = static_cast<i64>(parse_u64(next()));
+    } else if (arg == "--deterministic") {
+      sopts.deterministic = true;
+    } else if (arg == "--tenant") {
+      cur.tenant = parse_u64(next());
+    } else if (arg == "--priority") {
+      cur.priority = static_cast<u32>(parse_u64(next()));
+    } else if (arg == "--deadline-ms") {
+      cur.deadline_ms = static_cast<i64>(parse_u64(next()));
+    } else if (arg == "--repeat") {
+      repeat = static_cast<u32>(parse_u64(next()));
+      if (repeat < 1) {
+        std::fprintf(stderr, "--repeat must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--param") {
+      const std::string kv = next();
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--param expects NAME=VALUE\n");
+        return 2;
+      }
+      popts.params[kv.substr(0, eq)] =
+          std::strtoll(kv.c_str() + eq + 1, nullptr, 10);
+    } else if (arg == "--counters") {
+      show_counters = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
+      return 2;
+    } else {
+      staged.push_back({arg, cur, repeat});
+      repeat = 1;  // --repeat covers only the next file
+    }
+  }
+  if (staged.empty()) {
+    std::fprintf(stderr, "no program files given\n");
+    usage(argv[0], stderr);
+    return 2;
+  }
+  if (procs < 1) {
+    std::fprintf(stderr, "--procs must be >= 1\n");
+    return 2;
+  }
+
+  serve::Service svc(procs, sopts);
+  struct Pending {
+    std::string label;
+    serve::Handle handle;
+  };
+  std::vector<Pending> pending;
+
+  for (const Staged& st : staged) {
+    std::ifstream in(st.path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", st.path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::shared_ptr<const program::NestedLoopProgram> prog;
+    try {
+      prog = std::make_shared<const program::NestedLoopProgram>(
+          lang::parse_program(buf.str(), popts));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", st.path.c_str(), e.what());
+      return 1;
+    }
+    for (u32 k = 0; k < st.repeat; ++k) {
+      const serve::SubmitOutcome out = svc.submit(prog, st.s);
+      if (!out.accepted()) {
+        std::printf("%s: rejected (%s)\n", st.path.c_str(),
+                    serve::submit_status_name(out.status));
+        continue;
+      }
+      pending.push_back({st.path, out.handle});
+    }
+  }
+
+  int rc = 0;
+  for (Pending& p : pending) {
+    const runtime::RunResult r = p.handle.await();
+    if (r.failure.has_value()) {
+      std::printf("%s [sub %llu, tenant %llu]: %s\n", p.label.c_str(),
+                  static_cast<unsigned long long>(p.handle.id()),
+                  static_cast<unsigned long long>(p.handle.tenant()),
+                  r.failure->summary().c_str());
+      rc = 3;
+    } else {
+      std::printf("%s [sub %llu, tenant %llu]: ok, %llu iterations, "
+                  "makespan %llu\n",
+                  p.label.c_str(),
+                  static_cast<unsigned long long>(p.handle.id()),
+                  static_cast<unsigned long long>(p.handle.tenant()),
+                  static_cast<unsigned long long>(r.total.iterations),
+                  static_cast<unsigned long long>(r.makespan));
+    }
+  }
+  svc.stop();
+
+  std::printf("tenants:\n");
+  for (const runtime::TenantStats& t : svc.tenant_snapshot()) {
+    std::printf("  tenant %llu prio %u: %llu submissions, granted %llu, "
+                "queue-wait %llu, %llu slices, %llu preemptions\n",
+                static_cast<unsigned long long>(t.tenant), t.priority,
+                static_cast<unsigned long long>(t.submissions),
+                static_cast<unsigned long long>(t.granted),
+                static_cast<unsigned long long>(t.queue_wait),
+                static_cast<unsigned long long>(t.slices),
+                static_cast<unsigned long long>(t.preemptions));
+  }
+  if (sopts.deterministic) {
+    std::printf("grant log:");
+    for (const u64 seq : svc.grant_log()) {
+      std::printf(" %llu", static_cast<unsigned long long>(seq));
+    }
+    std::printf("\n");
+  }
+  if (show_counters) {
+    std::ostringstream cs;
+    trace::write_counters(svc.counters(), cs);
+    std::printf("%s", cs.str().c_str());
+  }
+  return rc;
+}

@@ -1,0 +1,406 @@
+// serve-stress: concurrent correctness + fairness driver for the resident
+// scheduler service (docs/serving.md).  N submitter threads hammer one
+// serve::Service with mixed-priority, mixed-size random programs; every
+// result is checked against the sequential oracle, audit violations are
+// counted, and equal-priority tenants' granted-cycle totals are compared.
+//
+// Equal-priority tenants are given IDENTICAL seed sets (seed depends only on
+// the per-tenant program index and the tenant's tier), so their total work
+// is identical and the granted-cycle fairness check isolates the dispatcher:
+// with every submission completing, a tier's tenants must land within
+// --fairness-tol of each other.
+//
+//   serve-stress [--procs 8] [--submitters 16] [--programs 224] ...
+//
+// Exit codes: 0 all checks passed, 1 any verification/fairness failure,
+// 2 usage.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <array>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "baselines/sequential.hpp"
+#include "serve/service.hpp"
+#include "workloads/programs.hpp"
+
+using namespace selfsched;
+
+namespace {
+
+/// Deterministic per-iteration compute (same dependent recurrence as
+/// RContext::work, so it cannot be vectorized or const-folded).  Every body
+/// burns the same CPU, which makes a tier's granted-cycle totals dominated
+/// by its identical workload rather than by sync-contention noise — without
+/// it the fairness check measures scheduling luck, not the dispatcher.
+constexpr u64 kBodySpinRounds = 6000;
+
+void body_spin(u64 x) {
+  for (u64 i = 0; i < kBodySpinRounds; ++i) x = x * 0xd1342543de82ef95ULL + 1;
+  volatile u64 sink = x;  // keep the loop observable
+  (void)sink;
+}
+
+/// Thread-safe iteration recorder (the tools-side analogue of the test
+/// suite's oracle recorder): multiset of (leaf, indices-prefix, j).
+struct Recorder {
+  using Key = std::tuple<std::string, std::vector<i64>, i64>;
+
+  program::BodyFactory factory() {
+    return [this](const std::string& name) -> program::BodyFn {
+      return [this, name](ProcId, const IndexVec& ivec, i64 j) {
+        body_spin(static_cast<u64>(j) + ivec.size());
+        std::vector<i64> iv(ivec.begin(), ivec.end());
+        std::lock_guard lk(mu);
+        seen.emplace_back(name, std::move(iv), j);
+      };
+    };
+  }
+
+  /// Canonical multiset, index vectors trimmed to each leaf's depth (the
+  /// two engines size IndexVec differently).
+  std::vector<Key> canonical(const program::NestedLoopProgram& prog) const {
+    std::vector<Key> out;
+    std::lock_guard lk(mu);
+    out.reserve(seen.size());
+    for (const auto& [name, iv, j] : seen) {
+      Level depth = 0;
+      for (u32 i = 0; i < prog.num_loops(); ++i) {
+        if (prog.loop(i).name == name) {
+          depth = prog.loop(i).depth;
+          break;
+        }
+      }
+      std::vector<i64> trimmed(
+          iv.begin(), iv.begin() + std::min<std::size_t>(iv.size(), depth));
+      out.emplace_back(name, std::move(trimmed), j);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  mutable std::mutex mu;
+  std::vector<Key> seen;
+};
+
+/// Size/shape config as a deterministic function of the seed, so two
+/// instances built from the same seed are identical programs.
+workloads::RandomProgramConfig config_for(u64 seed) {
+  workloads::RandomProgramConfig cfg;
+  cfg.max_depth = 2 + static_cast<u32>(seed % 3);
+  cfg.max_bound = 2 + static_cast<i64>(seed % 3);
+  cfg.max_leaf_bound = 3 + static_cast<i64>(seed % 9);
+  cfg.max_body_cost = 20 + (seed % 60);
+  return cfg;
+}
+
+struct Config {
+  u32 procs = 8;
+  u32 submitters = 16;
+  u32 programs = 224;
+  u32 tenants = 8;
+  u32 priorities = 2;
+  u32 max_queue = 32;      // small on purpose: exercise kQueueFull + retry
+  u32 max_active = 3;
+  i64 slice_us = 200;
+  u64 seed = 1987;
+  double fairness_tol = 0.20;
+  bool check_fairness = true;
+  std::string json_path;
+};
+
+void usage(const char* argv0, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s [options]\n"
+      "  --procs N          resident worker pool size (default 8)\n"
+      "  --submitters N     concurrent submitter threads (default 16)\n"
+      "  --programs N       total programs, rounded up to a multiple of\n"
+      "                     the tenant count (default 224)\n"
+      "  --tenants N        distinct tenants (default 8)\n"
+      "  --priorities N     priority tiers; tenant T runs in tier\n"
+      "                     T %% priorities (default 2)\n"
+      "  --max-queue N      admission queue depth; full -> retry (default "
+      "32)\n"
+      "  --max-active N     concurrent namespaces (default 3)\n"
+      "  --slice-us N       slice budget (default 200)\n"
+      "  --seed S           base RNG seed (default 1987)\n"
+      "  --fairness-tol F   max (max-min)/max granted spread within a tier\n"
+      "                     (default 0.20)\n"
+      "  --no-fairness      skip the fairness assertion (report only)\n"
+      "  --json FILE        write the per-tenant fairness report as JSON\n",
+      argv0);
+}
+
+struct Failure {
+  std::string what;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config c;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0], stdout);
+      return 0;
+    } else if (arg == "--procs") {
+      c.procs = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--submitters") {
+      c.submitters = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--programs") {
+      c.programs = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--tenants") {
+      c.tenants = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--priorities") {
+      c.priorities = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--max-queue") {
+      c.max_queue = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--max-active") {
+      c.max_active = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--slice-us") {
+      c.slice_us = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      c.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fairness-tol") {
+      c.fairness_tol = std::strtod(next(), nullptr);
+    } else if (arg == "--no-fairness") {
+      c.check_fairness = false;
+    } else if (arg == "--json") {
+      c.json_path = next();
+    } else {
+      std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (c.procs < 1 || c.submitters < 1 || c.tenants < 1 || c.priorities < 1) {
+    std::fprintf(stderr, "counts must be >= 1\n");
+    return 2;
+  }
+  // Equal per-tenant load: round program count up to a tenant multiple.
+  c.programs = ((c.programs + c.tenants - 1) / c.tenants) * c.tenants;
+
+  serve::ServeOptions sopts;
+  sopts.priorities = c.priorities;
+  sopts.max_queue_depth = c.max_queue;
+  sopts.max_tenants = c.tenants;
+  sopts.max_active = c.max_active;
+  sopts.slice_us = c.slice_us;
+  serve::Service svc(c.procs, sopts);
+
+  std::mutex fail_mu;
+  std::vector<Failure> failures;
+  std::vector<std::array<Cycles, exec::kNumPhases>> tenant_phases(
+      c.tenants, std::array<Cycles, exec::kNumPhases>{});
+  std::atomic<u64> verified{0};
+  std::atomic<u64> queue_full_retries{0};
+  auto fail = [&](std::string what) {
+    std::lock_guard lk(fail_mu);
+    failures.push_back({std::move(what)});
+  };
+
+  // A submission in flight: the served program instance must stay alive
+  // (its recorder is captured by the bodies) until the result is verified.
+  struct InFlight {
+    u64 seed;
+    u64 tenant;
+    std::unique_ptr<Recorder> rec;
+    std::shared_ptr<const program::NestedLoopProgram> prog;
+    serve::Handle handle;
+  };
+
+  auto verify = [&](InFlight& f) {
+    const runtime::RunResult r = f.handle.await();
+    if (r.failure.has_value()) {
+      fail("seed " + std::to_string(f.seed) + ": unexpected failure: " +
+           r.failure->summary());
+      return;
+    }
+    if (r.audit_violations != 0) {
+      fail("seed " + std::to_string(f.seed) + ": " +
+           std::to_string(r.audit_violations) + " audit violations:\n" +
+           r.audit_report);
+      return;
+    }
+    // Sequential oracle: an identical instance executed in program order.
+    Recorder oracle;
+    const program::NestedLoopProgram serial =
+        workloads::random_program(f.seed, config_for(f.seed),
+                                  oracle.factory());
+    baselines::run_sequential(serial, /*default_body_cost=*/1,
+                              /*call_bodies=*/true);
+    if (f.rec->canonical(*f.prog) != oracle.canonical(serial)) {
+      fail("seed " + std::to_string(f.seed) +
+           ": iteration multiset diverges from the sequential oracle");
+      return;
+    }
+    {
+      std::lock_guard lk(fail_mu);
+      for (u32 p = 0; p < exec::kNumPhases; ++p) {
+        tenant_phases[f.tenant][p] += r.total.phase_cycles[p];
+      }
+    }
+    verified.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  auto submitter = [&](u32 sid) {
+    std::deque<InFlight> window;
+    for (u32 idx = sid; idx < c.programs; idx += c.submitters) {
+      const u64 tenant = idx % c.tenants;
+      const u64 k = idx / c.tenants;  // per-tenant program index
+      // Seed depends on (k, tier) only -> same-tier tenants get identical
+      // program sets, making granted-cycle totals directly comparable.
+      const u64 seed =
+          c.seed + k * c.priorities + (tenant % c.priorities);
+      InFlight f;
+      f.seed = seed;
+      f.tenant = tenant;
+      f.rec = std::make_unique<Recorder>();
+      f.prog = std::make_shared<const program::NestedLoopProgram>(
+          workloads::random_program(seed, config_for(seed),
+                                    f.rec->factory()));
+      serve::SubmitOptions s;
+      s.tenant = tenant;
+      s.priority = static_cast<u32>(tenant % c.priorities);
+      s.sched.audit = true;
+      s.sched.default_body_cost = 1;
+      for (;;) {
+        const serve::SubmitOutcome out = svc.submit(f.prog, s);
+        if (out.accepted()) {
+          f.handle = out.handle;
+          break;
+        }
+        if (out.status != serve::SubmitStatus::kQueueFull) {
+          fail("seed " + std::to_string(seed) + ": rejected (" +
+               serve::submit_status_name(out.status) + ")");
+          break;
+        }
+        queue_full_retries.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      if (!f.handle.valid()) continue;
+      window.push_back(std::move(f));
+      if (window.size() >= 4) {  // bounded in-flight set per submitter
+        verify(window.front());
+        window.pop_front();
+      }
+    }
+    while (!window.empty()) {
+      verify(window.front());
+      window.pop_front();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(c.submitters);
+  for (u32 s = 0; s < c.submitters; ++s) threads.emplace_back(submitter, s);
+  for (std::thread& t : threads) t.join();
+  svc.stop();
+
+  const std::vector<runtime::TenantStats> tenants = svc.tenant_snapshot();
+  const trace::Counters counters = svc.counters();
+
+  // Fairness: within each tier, total granted worker time must be level.
+  struct TierSpread {
+    u32 priority;
+    Cycles min_granted = std::numeric_limits<Cycles>::max();
+    Cycles max_granted = 0;
+    u32 tenants = 0;
+  };
+  std::vector<TierSpread> tiers(c.priorities);
+  for (u32 p = 0; p < c.priorities; ++p) tiers[p].priority = p;
+  for (const runtime::TenantStats& t : tenants) {
+    TierSpread& tier = tiers[t.priority];
+    tier.min_granted = std::min(tier.min_granted, t.granted);
+    tier.max_granted = std::max(tier.max_granted, t.granted);
+    tier.tenants++;
+  }
+  for (const runtime::TenantStats& t : tenants) {
+    std::printf("tenant %llu phases:",
+                static_cast<unsigned long long>(t.tenant));
+    for (u32 p = 0; p < exec::kNumPhases; ++p) {
+      std::printf(" %s=%lld",
+                  exec::phase_name(static_cast<exec::Phase>(p)),
+                  static_cast<long long>(tenant_phases[t.tenant][p]));
+    }
+    std::printf("\n");
+  }
+  for (const TierSpread& tier : tiers) {
+    if (tier.tenants < 2 || tier.max_granted == 0) continue;
+    const double spread =
+        static_cast<double>(tier.max_granted - tier.min_granted) /
+        static_cast<double>(tier.max_granted);
+    std::printf("tier %u: %u tenants, granted [%llu, %llu], spread %.1f%%\n",
+                tier.priority, tier.tenants,
+                static_cast<unsigned long long>(tier.min_granted),
+                static_cast<unsigned long long>(tier.max_granted),
+                spread * 100.0);
+    if (c.check_fairness && spread > c.fairness_tol) {
+      fail("tier " + std::to_string(tier.priority) +
+           ": granted-cycle spread " + std::to_string(spread) +
+           " exceeds tolerance " + std::to_string(c.fairness_tol));
+    }
+  }
+
+  std::printf("verified %llu/%u programs, %llu queue-full retries, "
+              "%llu submissions, %llu rejections, %llu preemptions\n",
+              static_cast<unsigned long long>(verified.load()), c.programs,
+              static_cast<unsigned long long>(queue_full_retries.load()),
+              static_cast<unsigned long long>(counters.serve_submissions),
+              static_cast<unsigned long long>(counters.serve_rejections),
+              static_cast<unsigned long long>(counters.serve_preemptions));
+
+  if (!c.json_path.empty()) {
+    std::ofstream js(c.json_path);
+    if (!js) {
+      std::fprintf(stderr, "cannot write %s\n", c.json_path.c_str());
+      return 1;
+    }
+    js << "{\n  \"procs\": " << c.procs
+       << ",\n  \"submitters\": " << c.submitters
+       << ",\n  \"programs\": " << c.programs
+       << ",\n  \"verified\": " << verified.load()
+       << ",\n  \"failures\": " << failures.size()
+       << ",\n  \"serve_submissions\": " << counters.serve_submissions
+       << ",\n  \"serve_rejections\": " << counters.serve_rejections
+       << ",\n  \"serve_preemptions\": " << counters.serve_preemptions
+       << ",\n  \"tenants\": [";
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      const runtime::TenantStats& t = tenants[i];
+      js << (i ? "," : "") << "\n    {\"tenant\": " << t.tenant
+         << ", \"priority\": " << t.priority
+         << ", \"submissions\": " << t.submissions
+         << ", \"queue_wait\": " << t.queue_wait
+         << ", \"granted\": " << t.granted << ", \"slices\": " << t.slices
+         << ", \"preemptions\": " << t.preemptions << "}";
+    }
+    js << "\n  ]\n}\n";
+    std::printf("fairness report written to %s\n", c.json_path.c_str());
+  }
+
+  if (!failures.empty()) {
+    for (const Failure& f : failures) {
+      std::fprintf(stderr, "FAIL: %s\n", f.what.c_str());
+    }
+    return 1;
+  }
+  std::printf("serve-stress: OK\n");
+  return 0;
+}
