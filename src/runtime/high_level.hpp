@@ -117,8 +117,9 @@ inline i64 eval_bound(C& ctx, const program::Bound& bound,
 //      engine-serialized {== 0 ; Increment} election) and initiates
 //      cancellation (`cancel.latch`, same election): store done := 1 and
 //      poison every pooled instance's low-level index word to bound+1;
-//   2. every grab loop fails against the poisoned index (all five
-//      strategies gate on {index <= bound}), so workers detach and fall
+//   2. every grab loop fails against the poisoned index (every portfolio
+//      strategy gates on {index <= bound}, directly or through its
+//      fetch-then-CAS pair), so workers detach and fall
 //      into SEARCH, which already polls `done` each round and exits;
 //   3. blocking regions (Doacross post-waits, teardown pcount drains,
 //      injected stalls) poll `done` per spin round — `done != 0` while the

@@ -14,8 +14,10 @@
 //   index       (index)         next unscheduled iteration, starts at 1
 //   icount      (icount)        completed-iteration counter, starts at 0
 //   pcount      (pcount)        processors attached to this ICB
-//   aux                         dispatch sequence counter (trapezoid
-//                               self-scheduling) — an extension slot
+//   aux                         dispatch sequence counter (trapezoid/
+//                               factoring2 families) — an extension slot
+//   adapt/adapt_tau             adaptive-strategy tuned chunk + body-time
+//                               EWMA (extension slots)
 //   da_flags                    Doacross post flags, one per iteration
 #pragma once
 
@@ -48,6 +50,12 @@ struct Icb {
   typename C::Sync icount;
   typename C::Sync pcount;
   typename C::Sync aux;
+  /// Adaptive-strategy state (extension slots like `aux`): current tuned
+  /// chunk size (0 = unseeded; the first dispatcher runs a seeding
+  /// election) and the EWMA per-iteration body-time estimate in engine
+  /// ticks.  Advisory only — iteration ownership always comes from `index`.
+  typename C::Sync adapt;
+  typename C::Sync adapt_tau;
 
   std::unique_ptr<typename C::Sync[]> da_flags;
   i64 da_flags_cap = 0;
@@ -83,6 +91,8 @@ struct Icb {
     icount.reset(0);
     pcount.reset(0);
     aux.reset(0);
+    adapt.reset(0);
+    adapt_tau.reset(0);
     if (needs_da_flags) {
       if (da_flags_cap < b + 1) {
         da_flags = std::make_unique<typename C::Sync[]>(

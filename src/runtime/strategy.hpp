@@ -1,26 +1,56 @@
 // Low-level self-scheduling strategies (§II-C, §IV): how many iterations a
 // processor grabs from an instance's shared `index` variable per dispatch.
 //
-//   kSelf       one iteration per fetch&increment — the original HEP-style
-//               self-scheduling [7]; also the SDSS discipline for Doacross
-//               loops [16] (chunking a Doacross serializes k-1 of every k
-//               iterations, §I).
-//   kChunk      fixed chunk of k iterations per fetch&add(k) — Eq. (7)'s
-//               parameter k.
-//   kGSS        guided self-scheduling [14]: grab ceil(remaining / P).
-//   kFactoring  grab ceil(remaining / (2P)) — a batch-free rendition of
-//               Hummel/Schonberg/Flynn factoring (extension).
-//   kTrapezoid  trapezoid self-scheduling (Tzen/Ni): linearly decreasing
-//               chunks from `first` to `last` (extension).
+//   kSelf        one iteration per fetch&increment — the original HEP-style
+//                self-scheduling [7]; also the SDSS discipline for Doacross
+//                loops [16] (chunking a Doacross serializes k-1 of every k
+//                iterations, §I).
+//   kChunk       fixed chunk of k iterations per fetch&add(k) — Eq. (7)'s
+//                parameter k.
+//   kGSS         guided self-scheduling [14]: grab ceil(remaining / P).
+//   kFactoring   grab ceil(remaining / (2P)) — a batch-free rendition of
+//                Hummel/Schonberg/Flynn factoring (extension).
+//   kTrapezoid   trapezoid self-scheduling (Tzen/Ni): linearly decreasing
+//                chunks from `first` to `last` (extension).
+//   kFactoring2  true batched factoring: batch r hands out P *equal* chunks
+//                of k_r = ceil(R_r / 2P) before recomputing, R_{r+1} =
+//                R_r - P*k_r.  Sized off the dispatch-sequence counter, so
+//                the chunk series is a closed-form function of (b, P, seq).
+//   kWeightedFactoring
+//                factoring2 with static per-processor weights: worker p's
+//                chunk in batch r is ceil(k_r * P * w_p / sum(w)), for
+//                heterogeneous processors (Hummel et al. WF).
+//   kTrapezoidTuned
+//                TSS with the Tzen/Ni tuned endpoints — first = ceil(b/2P),
+//                exact dispatch count N = ceil(2b/(f+l)) — and a 16.16
+//                fixed-point decrement so the ramp hits `last` exactly
+//                instead of flooring the slope to an integer.
+//   kRandomSteal random/steal hybrid: while plenty of work remains, grab a
+//                hash-derived random chunk in [ceil(R/4P), R/2P] (decorrelates
+//                contention bursts); once R <= 2P, fall back to single-
+//                iteration grabs — the "steal the tail one at a time"
+//                endgame that bounds imbalance by one iteration.
+//   kAdaptive    meta-strategy: seeds the chunk size from the §IV analytical
+//                optimum (analysis::optimal_adaptive_chunk, Eq. 7 extended
+//                with a tail-imbalance term) and retunes it per instance
+//                from per-chunk timing feedback (adaptive_feedback below).
 //
 // GSS-style strategies need remaining = bound - index + 1 read-then-update
 // atomically; the paper's equality test turns test-and-op into compare-and-
 // swap: {index == seen ; Fetch&Add(chunk)} retried on interference.
+//
+// Cancellation containment: every strategy gates its grab on {index <= b}
+// (directly, or via the fetch-then-CAS pair whose CAS re-checks the fetched
+// value).  Poisoning index to b+1 therefore stops all of them — see
+// poison_pool in high_level.hpp.
 #pragma once
 
 #include <algorithm>
+#include <ctime>
 
+#include "analysis/model.hpp"
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "exec/context.hpp"
 #include "runtime/ctx_sync.hpp"
 #include "runtime/icb.hpp"
@@ -28,30 +58,95 @@
 
 namespace selfsched::runtime {
 
+/// Ceiling on the adaptive tuner's chunk search (bounds the argmin scan in
+/// analysis::optimal_adaptive_chunk and keeps retunes O(cap)).
+inline constexpr i64 kAdaptiveChunkCap = 1024;
+
+/// Linear contention slope fed to the Eq. 7 O2(k) model by the tuner.
+inline constexpr double kAdaptiveContentionSlope = 0.25;
+
+/// Prior per-iteration body time (engine ticks) used to seed kAdaptive when
+/// the caller supplies none.  Matches SchedOptions::default_body_cost so the
+/// vtime seed chunk is the model optimum for the default workload.
+inline constexpr i64 kAdaptiveDefaultTau = 100;
+
+/// Calibrated per-dispatch (O1) and per-SEARCH (O2) overheads, in
+/// nanoseconds, for the threaded engine's tuner inputs.  Rough uncontended
+/// x86 figures: one fetch&add ~20ns hot, a SEARCH walks SW + a list lock.
+inline constexpr double kAdaptiveThreadO1 = 60.0;
+inline constexpr double kAdaptiveThreadO2 = 400.0;
+
 struct Strategy {
-  enum class Kind : u32 { kSelf, kChunk, kGSS, kFactoring, kTrapezoid };
+  enum class Kind : u32 {
+    kSelf,
+    kChunk,
+    kGSS,
+    kFactoring,
+    kTrapezoid,
+    kFactoring2,
+    kWeightedFactoring,
+    kTrapezoidTuned,
+    kRandomSteal,
+    kAdaptive,
+  };
 
   Kind kind = Kind::kSelf;
-  i64 chunk = 1;      // kChunk: fixed size; kGSS/kFactoring: minimum chunk
-  i64 tss_first = 0;  // kTrapezoid: first chunk (0 = auto bound/(2P))
-  i64 tss_last = 1;   // kTrapezoid: final chunk
+  i64 chunk = 1;      // kChunk: fixed size; kGSS/kFactoring/kFactoring2/
+                      // kWeightedFactoring/kRandomSteal: minimum chunk;
+                      // kAdaptive: minimum chunk clamp
+  i64 tss_first = 0;  // kTrapezoid/kTrapezoidTuned: first chunk (0 = auto)
+  i64 tss_last = 1;   // kTrapezoid/kTrapezoidTuned: final chunk
+  u64 wf_weights = 0;  // kWeightedFactoring: 8 per-worker weight bytes,
+                       // worker p uses byte p%8; a zero byte means weight 1
+                       // (so 0 as a whole = uniform = factoring2)
+  u64 rs_seed = 1;    // kRandomSteal: hash seed for the chunk-size draw
+  i64 adapt_tau = 0;  // kAdaptive: prior body ticks (0 = kAdaptiveDefaultTau)
+  i64 adapt_max = 0;  // kAdaptive: chunk ceiling (0 = auto min(b/P, cap))
 
-  static Strategy self() { return {Kind::kSelf, 1, 0, 1}; }
+  static Strategy self() { return {Kind::kSelf}; }
   static Strategy chunked(i64 k) {
     SS_CHECK(k >= 1);
-    return {Kind::kChunk, k, 0, 1};
+    return {Kind::kChunk, k};
   }
   static Strategy gss(i64 min_chunk = 1) {
     SS_CHECK(min_chunk >= 1);
-    return {Kind::kGSS, min_chunk, 0, 1};
+    return {Kind::kGSS, min_chunk};
   }
   static Strategy factoring(i64 min_chunk = 1) {
     SS_CHECK(min_chunk >= 1);
-    return {Kind::kFactoring, min_chunk, 0, 1};
+    return {Kind::kFactoring, min_chunk};
   }
   static Strategy trapezoid(i64 first = 0, i64 last = 1) {
     SS_CHECK(last >= 1 && (first == 0 || first >= last));
     return {Kind::kTrapezoid, 1, first, last};
+  }
+  static Strategy factoring2(i64 min_chunk = 1) {
+    SS_CHECK(min_chunk >= 1);
+    return {Kind::kFactoring2, min_chunk};
+  }
+  static Strategy weighted_factoring(u64 weights = 0, i64 min_chunk = 1) {
+    SS_CHECK(min_chunk >= 1);
+    Strategy s{Kind::kWeightedFactoring, min_chunk};
+    s.wf_weights = weights;
+    return s;
+  }
+  static Strategy trapezoid_tuned(i64 first = 0, i64 last = 1) {
+    SS_CHECK(last >= 1 && (first == 0 || first >= last));
+    return {Kind::kTrapezoidTuned, 1, first, last};
+  }
+  static Strategy random_steal(u64 seed = 1, i64 min_chunk = 1) {
+    SS_CHECK(min_chunk >= 1);
+    Strategy s{Kind::kRandomSteal, min_chunk};
+    s.rs_seed = seed;
+    return s;
+  }
+  static Strategy adaptive(i64 tau_prior = 0, i64 min_chunk = 1,
+                           i64 max_chunk = 0) {
+    SS_CHECK(tau_prior >= 0 && min_chunk >= 1 && max_chunk >= 0);
+    Strategy s{Kind::kAdaptive, min_chunk};
+    s.adapt_tau = tau_prior;
+    s.adapt_max = max_chunk;
+    return s;
   }
 
   const char* name() const {
@@ -61,6 +156,11 @@ struct Strategy {
       case Kind::kGSS: return "gss";
       case Kind::kFactoring: return "factoring";
       case Kind::kTrapezoid: return "trapezoid";
+      case Kind::kFactoring2: return "factoring2";
+      case Kind::kWeightedFactoring: return "wfactoring";
+      case Kind::kTrapezoidTuned: return "tss2";
+      case Kind::kRandomSteal: return "randsteal";
+      case Kind::kAdaptive: return "adaptive";
     }
     return "?";
   }
@@ -73,6 +173,148 @@ struct Dispatch {
   bool last_scheduled = false;  // this grab took the final iteration =>
                                 // caller must DELETE the ICB from its list
 };
+
+/// Batched-factoring chunk size at dispatch sequence number `seq` (0-based):
+/// batch r = seq/P hands out P chunks of k_r = max(min_chunk, ceil(R_r/2P)),
+/// R_{r+1} = R_r - P*k_r.  Pure in (b, procs, seq, min_chunk), so it is both
+/// the dispatcher's sizing rule and the conformance oracle.  Once R_r
+/// reaches 0 the size floors at min_chunk; grabs at that point fail the
+/// {index <= b} gate anyway.
+inline i64 factoring2_chunk_at(i64 b, u32 procs, i64 seq, i64 min_chunk) {
+  const i64 p = std::max<i64>(1, static_cast<i64>(procs));
+  const i64 batch = seq / p;
+  i64 remaining = b;
+  i64 k = std::max<i64>(1, min_chunk);
+  for (i64 r = 0;; ++r) {
+    k = std::max(min_chunk, (remaining + 2 * p - 1) / (2 * p));
+    if (r == batch || remaining == 0) break;
+    remaining = std::max<i64>(0, remaining - p * k);
+  }
+  return std::max<i64>(1, k);
+}
+
+/// Weighted-factoring weight of worker p: byte p%8 of the packed weight
+/// word, with 0 mapped to 1 so an unset byte (and an all-zero word) means
+/// "uniform".
+inline i64 wf_weight_of(u64 weights, u32 proc) {
+  const u64 byte = (weights >> ((proc % 8) * 8)) & 0xff;
+  return byte == 0 ? 1 : static_cast<i64>(byte);
+}
+
+/// Sum of wf_weight_of over the first `procs` workers.
+inline i64 wf_weight_sum(u64 weights, u32 procs) {
+  i64 sum = 0;
+  for (u32 p = 0; p < std::max<u32>(1, procs); ++p) {
+    sum += wf_weight_of(weights, p);
+  }
+  return sum;
+}
+
+/// Tuned-TSS chunk size at dispatch sequence `seq`: first f (default
+/// ceil(b/2P)), last l (clamped to f), N = max(2, ceil(2b/(f+l))) dispatches,
+/// 16.16 fixed-point ramp so want(N-1) lands on l exactly.  Pure — doubles
+/// as the conformance oracle.
+inline i64 tss2_chunk_at(i64 b, u32 procs, i64 seq, i64 tss_first,
+                         i64 tss_last) {
+  const i64 p = std::max<i64>(1, static_cast<i64>(procs));
+  const i64 f =
+      tss_first > 0 ? tss_first : std::max<i64>(1, (b + 2 * p - 1) / (2 * p));
+  const i64 l = std::max<i64>(1, std::min(tss_last, f));
+  const i64 nd = std::max<i64>(2, (2 * b + f + l - 1) / (f + l));
+  const i64 delta_fp = ((f - l) << 16) / (nd - 1);
+  return std::max(l, f - ((seq * delta_fp) >> 16));
+}
+
+/// Random/steal chunk size for a grab that fetched `index_seen` with
+/// `remaining` iterations left.  Hashes (seed, index) — the fetched index is
+/// unique per successful grab, so no extra sync var is consumed and the
+/// draw is pure: the conformance oracle replays it exactly.
+inline i64 random_steal_chunk(u64 seed, i64 index_seen, i64 remaining,
+                              u32 procs, i64 min_chunk) {
+  const i64 p = std::max<i64>(1, static_cast<i64>(procs));
+  if (remaining <= 2 * p) return 1;  // steal endgame: finest grain
+  const i64 lo = std::max(min_chunk, (remaining + 4 * p - 1) / (4 * p));
+  const i64 hi = std::max(lo, remaining / (2 * p));
+  const u64 h =
+      mix64(seed ^ (static_cast<u64>(index_seen) * 0x9e3779b97f4a7c15ULL));
+  return lo + static_cast<i64>(h % static_cast<u64>(hi - lo + 1));
+}
+
+/// Pure core of the adaptive tuner: the completion-time-optimal chunk for an
+/// instance of `b` iterations on `procs` workers given a body-time estimate
+/// `tau` and engine overheads (o1 per dispatch, o2 per SEARCH), clamped to
+/// [min_chunk, min(max_chunk or b/P, kAdaptiveChunkCap)].  Exposed
+/// non-templated so tests can assert the seed matches the analysis model
+/// exactly.
+inline i64 adaptive_chunk_for(double tau, double o1, double o2, i64 b,
+                              u32 procs, i64 min_chunk = 1, i64 max_chunk = 0) {
+  if (b < 1) b = 1;
+  const u32 p = std::max<u32>(1, procs);
+  analysis::UtilizationParams up;
+  up.tau = std::max(tau, 0.0);
+  up.o1 = o1;
+  up.o2 = o2;
+  up.n = std::max(1.0, static_cast<double>(b) / static_cast<double>(p));
+  up.o3 = 0;
+  up.big_n = static_cast<double>(b);
+  i64 k_max = max_chunk > 0 ? max_chunk
+                            : std::max<i64>(1, b / static_cast<i64>(p));
+  k_max = std::min(k_max, kAdaptiveChunkCap);
+  const i64 k = analysis::optimal_adaptive_chunk(up, p, b, k_max,
+                                                 kAdaptiveContentionSlope);
+  const i64 lo = std::max<i64>(1, min_chunk);
+  return std::clamp(k, lo, std::max(lo, k_max));
+}
+
+/// Engine-specific tuner inputs: body-time prior plus O1/O2 in the engine's
+/// native tick (vcycles from the cost model; calibrated ns on threads).
+struct AdaptiveInputs {
+  double tau = 0;
+  double o1 = 0;
+  double o2 = 0;
+};
+
+template <exec::ExecutionContext C>
+AdaptiveInputs adaptive_inputs(C& ctx, const Strategy& s) {
+  AdaptiveInputs in;
+  in.tau = static_cast<double>(s.adapt_tau > 0 ? s.adapt_tau
+                                               : kAdaptiveDefaultTau);
+  if constexpr (C::kIsSimulated) {
+    // One dispatch = the {index <= b ; Fetch&Add} plus its arithmetic; one
+    // SEARCH ≈ SW probe + list lock/unlock + a couple of list steps.
+    const auto& c = ctx.costs();
+    in.o1 = 2.0 * static_cast<double>(c.sync_op);
+    in.o2 = 3.0 * static_cast<double>(c.sync_op) +
+            4.0 * static_cast<double>(c.list_step);
+  } else {
+    in.o1 = kAdaptiveThreadO1;
+    in.o2 = kAdaptiveThreadO2;
+  }
+  return in;
+}
+
+/// Seed chunk for one instance: the model optimum under the prior tau.
+template <exec::ExecutionContext C>
+i64 adaptive_seed_chunk(C& ctx, const Strategy& s, i64 b, u32 procs) {
+  const AdaptiveInputs in = adaptive_inputs(ctx, s);
+  return adaptive_chunk_for(in.tau, in.o1, in.o2, b, procs, s.chunk,
+                            s.adapt_max);
+}
+
+/// Per-chunk clock for adaptive feedback: virtual cycles on the vtime
+/// engine (deterministic, replayable), thread-CPU nanoseconds on threads
+/// (immune to other tenants' wall time).
+template <exec::ExecutionContext C>
+Cycles adaptive_clock(C& ctx) {
+  if constexpr (C::kIsSimulated) {
+    return ctx.now();
+  } else {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<Cycles>(ts.tv_sec) * 1'000'000'000 +
+           static_cast<Cycles>(ts.tv_nsec);
+  }
+}
 
 /// Grab the next block of iterations from `icb` according to `s`.
 /// Implements the paper's "start:" step generalized to multi-iteration
@@ -146,8 +388,118 @@ Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
       if (!r.success) return {};
       return finish(r.fetched, want);
     }
+
+    case Strategy::Kind::kFactoring2:
+    case Strategy::Kind::kWeightedFactoring: {
+      // Batched factoring: the dispatch-sequence counter assigns this grab
+      // a slot; slot -> batch -> closed-form chunk size.  Weighted variant
+      // scales the batch chunk by this worker's share of the weight mass.
+      const auto seq =
+          ctx.sync_op(icb.aux, sync::Test::kNone, 0, sync::Op::kIncrement);
+      if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
+      i64 want = factoring2_chunk_at(b, procs, seq.fetched, s.chunk);
+      if (s.kind == Strategy::Kind::kWeightedFactoring) {
+        const i64 w = wf_weight_of(s.wf_weights, ctx.proc());
+        const i64 wsum = wf_weight_sum(s.wf_weights, procs);
+        const i64 p = std::max<i64>(1, static_cast<i64>(procs));
+        want = std::max(s.chunk, (want * p * w + wsum - 1) / wsum);
+      }
+      const auto r = ctx.sync_op(icb.index, sync::Test::kLE, b,
+                                 sync::Op::kFetchAdd, want);
+      if (!r.success) return {};
+      return finish(r.fetched, want);
+    }
+
+    case Strategy::Kind::kTrapezoidTuned: {
+      const auto seq =
+          ctx.sync_op(icb.aux, sync::Test::kNone, 0, sync::Op::kIncrement);
+      if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
+      const i64 want =
+          tss2_chunk_at(b, procs, seq.fetched, s.tss_first, s.tss_last);
+      const auto r = ctx.sync_op(icb.index, sync::Test::kLE, b,
+                                 sync::Op::kFetchAdd, want);
+      if (!r.success) return {};
+      return finish(r.fetched, want);
+    }
+
+    case Strategy::Kind::kRandomSteal: {
+      // Remaining-dependent like GSS, so it needs the fetch-then-CAS pair;
+      // the randomness keys off the fetched index, which the CAS pins.
+      for (;;) {
+        const auto seen =
+            ctx.sync_op(icb.index, sync::Test::kLE, b, sync::Op::kFetch);
+        if (!seen.success) return {};
+        const i64 remaining = b - seen.fetched + 1;
+        if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
+        const i64 want = random_steal_chunk(s.rs_seed, seen.fetched,
+                                            remaining, procs, s.chunk);
+        const auto cas = ctx.sync_op(icb.index, sync::Test::kEQ, seen.fetched,
+                                     sync::Op::kFetchAdd, want);
+        if (cas.success) return finish(cas.fetched, want);
+        trace::bump(ctx, &trace::Counters::cas_retries);
+      }
+    }
+
+    case Strategy::Kind::kAdaptive: {
+      // Read the instance's current tuned chunk; first arrival runs a
+      // seeding election ({adapt == 0 ; Store k0}) so exactly one worker
+      // pays the model evaluation and every loser adopts the winner's k0.
+      i64 k = ctx.sync_op(icb.adapt, sync::Test::kNone, 0, sync::Op::kFetch)
+                  .fetched;
+      if (k <= 0) {
+        if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
+        const i64 k0 = adaptive_seed_chunk(ctx, s, b, procs);
+        if (ctx.sync_op(icb.adapt, sync::Test::kEQ, 0, sync::Op::kStore, k0)
+                .success) {
+          k = k0;
+          trace::bump(ctx, &trace::Counters::adapt_seeds);
+        } else {
+          k = std::max<i64>(
+              1, ctx.sync_op(icb.adapt, sync::Test::kNone, 0, sync::Op::kFetch)
+                     .fetched);
+        }
+      }
+      const auto r = ctx.sync_op(icb.index, sync::Test::kLE, b,
+                                 sync::Op::kFetchAdd, k);
+      if (!r.success) return {};
+      return finish(r.fetched, k);
+    }
   }
   return {};
+}
+
+/// Adaptive feedback: fold one completed chunk's measured duration into the
+/// instance's body-time estimate (EWMA, alpha = 1/4) and re-minimize the
+/// completion-time model; store the new chunk if it moved.  All state lives
+/// in two ICB sync vars (`adapt`, `adapt_tau`), every access is a sync_op,
+/// and the argmin is host-pure — so on the vtime engine the whole adaptation
+/// trajectory is engine-serialized and bit-replayable.  Races between
+/// concurrent feedbacks are benign: both stores are model outputs for
+/// nearby tau estimates, and correctness never depends on `adapt` (the
+/// {index <= b} gate does all the guarding).
+template <exec::ExecutionContext C>
+void adaptive_feedback(C& ctx, Icb<C>& icb, const Strategy& s, i64 count,
+                       Cycles elapsed) {
+  if (count <= 0) return;
+  trace::bump(ctx, &trace::Counters::adapt_feedbacks);
+  const i64 tau_obs =
+      std::max<i64>(1, static_cast<i64>(elapsed) / std::max<i64>(1, count));
+  const i64 tau_old =
+      ctx.sync_op(icb.adapt_tau, sync::Test::kNone, 0, sync::Op::kFetch)
+          .fetched;
+  const i64 tau = tau_old > 0 ? (3 * tau_old + tau_obs) / 4 : tau_obs;
+  ctx.sync_op(icb.adapt_tau, sync::Test::kNone, 0, sync::Op::kStore, tau);
+  if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
+  const AdaptiveInputs in = adaptive_inputs(ctx, s);
+  const i64 k_new =
+      adaptive_chunk_for(static_cast<double>(tau), in.o1, in.o2, icb.bound,
+                         ctx.num_procs(), s.chunk, s.adapt_max);
+  const i64 k_cur =
+      ctx.sync_op(icb.adapt, sync::Test::kNone, 0, sync::Op::kFetch).fetched;
+  if (k_cur > 0 && k_new != k_cur) {
+    ctx.sync_op(icb.adapt, sync::Test::kNone, 0, sync::Op::kStore, k_new);
+    trace::bump(ctx, &trace::Counters::adapt_retunes);
+  }
 }
 
 }  // namespace selfsched::runtime

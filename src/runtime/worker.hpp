@@ -194,6 +194,16 @@ SessionExit worker_session(C& ctx, SchedState<C>& st,
     }
 
     // --- body: execute the grabbed iterations, containing failures ---
+    // Adaptive tuning horizon: measure and retune only while the chunk
+    // starts in the first half of the iteration space.  Early chunks carry
+    // all the signal (the seed is a prior, the first measurements correct
+    // it); late chunks measure tail stragglers, and freezing the second
+    // half makes the steady-state dispatch path exactly as cheap as a
+    // static chunker's — no clock reads, no feedback sync ops.
+    const bool tuning = strat.kind == Strategy::Kind::kAdaptive &&
+                        grab.first <= (cursor.b + 1) / 2;
+    Cycles chunk_t0 = 0;
+    if (tuning) chunk_t0 = adaptive_clock(ctx);
     bool aborted = false;
     {
       const Cycles tb = trace::event_begin(ctx);
@@ -242,6 +252,14 @@ SessionExit worker_session(C& ctx, SchedState<C>& st,
       trace::event_end(ctx, tb, trace::EventKind::kChunk, cursor.i,
                        trace::ivec_hash(cursor.ivec, d.depth), grab.first,
                        grab.count);
+    }
+    if (tuning && !aborted) {
+      // Fold this chunk's measured duration into the instance's tau estimate
+      // and retune its chunk size before we (or anyone) grab again.  Aborted
+      // chunks are skipped: their timings include stall/cancel wreckage.
+      exec::PhaseScope<C> phase(ctx, exec::Phase::kIterSync);
+      adaptive_feedback(ctx, *cursor.ip, strat, grab.count,
+                        adaptive_clock(ctx) - chunk_t0);
     }
     if (aborted) {
       // The abandoned grab never reaches icount: the instance can no longer

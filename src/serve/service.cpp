@@ -120,6 +120,7 @@ SubmitOutcome Service::submit(
   }
   sub->vsubmitted = vnow_;
   sub->opts = s.sched;
+  if (s.strategy) sub->opts.strategy = *s.strategy;
   // The service owns failure policy: cancellation/deadlines/body errors
   // become structured results; nothing may unwind a pooled worker or abort
   // the process on a tenant's audit findings.

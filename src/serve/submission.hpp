@@ -60,6 +60,12 @@ struct SubmitOptions {
   /// deadline_ms itself.  audit_sink, if set, must be private to this
   /// submission — an Auditor shadows exactly one execution.
   runtime::SchedOptions sched;
+  /// Per-tenant low-level dispatch strategy override.  When set it replaces
+  /// sched.strategy (Doall dispatch only; sched.doacross_strategy is
+  /// untouched — chunking a Doacross is a correctness-adjacent choice the
+  /// tenant must make explicitly).  Lets one tenant run kAdaptive while a
+  /// latency-sensitive neighbor pins a static schedule.
+  std::optional<runtime::Strategy> strategy;
 };
 
 /// Internal per-submission record.  Held by shared_ptr from the service

@@ -36,6 +36,11 @@ struct Counters {
   u64 serve_rejections = 0;    // submissions refused by admission control
   u64 serve_preemptions = 0;   // worker slices ended by the slice budget
                                // (SessionExit::kYield), not by completion
+  u64 adapt_seeds = 0;         // adaptive-strategy seeding elections won
+                               // (one per kAdaptive instance)
+  u64 adapt_feedbacks = 0;     // per-chunk timing samples folded into an
+                               // instance's body-time EWMA
+  u64 adapt_retunes = 0;       // feedbacks that moved the tuned chunk size
 
   /// Visit (name, member pointer) of every counter — single source of truth
   /// for merge(), reports and exporters.
@@ -60,6 +65,9 @@ struct Counters {
     fn("serve_submissions", &Counters::serve_submissions);
     fn("serve_rejections", &Counters::serve_rejections);
     fn("serve_preemptions", &Counters::serve_preemptions);
+    fn("adapt_seeds", &Counters::adapt_seeds);
+    fn("adapt_feedbacks", &Counters::adapt_feedbacks);
+    fn("adapt_retunes", &Counters::adapt_retunes);
   }
 
   void merge(const Counters& o) {

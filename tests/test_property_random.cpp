@@ -15,12 +15,19 @@ using selfsched::testing::Recorder;
 using selfsched::testing::normalized;
 
 runtime::Strategy strategy_for_seed(u64 seed) {
-  switch (seed % 5) {
+  switch (seed % 10) {
     case 0: return runtime::Strategy::self();
     case 1: return runtime::Strategy::chunked(static_cast<i64>(seed % 7) + 2);
     case 2: return runtime::Strategy::gss();
     case 3: return runtime::Strategy::factoring();
-    default: return runtime::Strategy::trapezoid();
+    case 4: return runtime::Strategy::trapezoid();
+    case 5: return runtime::Strategy::factoring2();
+    case 6:
+      return runtime::Strategy::weighted_factoring(seed *
+                                                   0x9e3779b97f4a7c15ULL);
+    case 7: return runtime::Strategy::trapezoid_tuned();
+    case 8: return runtime::Strategy::random_steal(seed | 1);
+    default: return runtime::Strategy::adaptive();
   }
 }
 

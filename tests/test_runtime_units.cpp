@@ -383,6 +383,62 @@ std::vector<i64> closed_form(i64 b, const Strategy& s, u32 procs) {
         want = std::max(s.tss_last, first - n * delta);
         break;
       }
+      case Strategy::Kind::kFactoring2:
+      case Strategy::Kind::kWeightedFactoring: {
+        // Batched factoring, replicated independently of the runtime
+        // helper: batch r = n/P sizes P chunks at ceil(R_r/2P).
+        const i64 batch = n / p;
+        i64 rem = b;
+        i64 k = s.chunk;
+        for (i64 r = 0;; ++r) {
+          k = std::max(s.chunk, (rem + 2 * p - 1) / (2 * p));
+          if (r == batch || rem == 0) break;
+          rem = std::max<i64>(0, rem - p * k);
+        }
+        want = std::max<i64>(1, k);
+        if (s.kind == Strategy::Kind::kWeightedFactoring) {
+          // drain() dispatches as worker 0: weight byte 0 (0 reads as 1).
+          auto weight = [&](u32 q) {
+            const u64 byte = (s.wf_weights >> ((q % 8) * 8)) & 0xff;
+            return byte == 0 ? i64{1} : static_cast<i64>(byte);
+          };
+          i64 wsum = 0;
+          for (u32 q = 0; q < procs; ++q) wsum += weight(q);
+          want = std::max(s.chunk, (want * p * weight(0) + wsum - 1) / wsum);
+        }
+        break;
+      }
+      case Strategy::Kind::kTrapezoidTuned: {
+        const i64 f = s.tss_first > 0 ? s.tss_first
+                                      : std::max<i64>(1, (b + 2 * p - 1) /
+                                                             (2 * p));
+        const i64 l = std::max<i64>(1, std::min(s.tss_last, f));
+        const i64 nd = std::max<i64>(2, (2 * b + f + l - 1) / (f + l));
+        const i64 delta_fp = ((f - l) << 16) / (nd - 1);
+        want = std::max(l, f - ((n * delta_fp) >> 16));
+        break;
+      }
+      case Strategy::Kind::kRandomSteal: {
+        if (remaining <= 2 * p) {
+          want = 1;
+        } else {
+          const i64 lo = std::max(s.chunk, (remaining + 4 * p - 1) / (4 * p));
+          const i64 hi = std::max(lo, remaining / (2 * p));
+          const u64 h = mix64(s.rs_seed ^ (static_cast<u64>(index) *
+                                           0x9e3779b97f4a7c15ULL));
+          want = lo + static_cast<i64>(h % static_cast<u64>(hi - lo + 1));
+        }
+        break;
+      }
+      case Strategy::Kind::kAdaptive:
+        // No feedback flows through drain() (it calls only the dispatcher),
+        // so the chunk stays pinned at the threaded-engine seed.
+        want = runtime::adaptive_chunk_for(
+            static_cast<double>(s.adapt_tau > 0 ? s.adapt_tau
+                                                : runtime::kAdaptiveDefaultTau),
+            runtime::kAdaptiveThreadO1, runtime::kAdaptiveThreadO2, b, procs,
+            s.chunk, s.adapt_max);
+        break;
     }
     out.push_back(std::min(want, remaining));
     index += want;
@@ -448,6 +504,109 @@ TEST(Strategy, TrapezoidBoundSmallerThanLastChunk) {
             (std::vector<i64>{1, 1, 1}));
 }
 
+TEST(Strategy, Factoring2BatchedEqualChunks) {
+  // b=100, P=4: batch chunks ceil(R/2P) with R after each full batch of 4
+  // equal grabs: 13 (R=100), 6 (R=48), 3 (R=24), 2 (R=12), 1 (R=4).
+  EXPECT_EQ(drain(100, Strategy::factoring2(), 4),
+            (std::vector<i64>{13, 13, 13, 13, 6, 6, 6, 6, 3, 3, 3, 3, 2, 2,
+                              2, 2, 1, 1, 1, 1}));
+}
+
+TEST(Strategy, Factoring2MinChunkFloorsBatches) {
+  const auto sizes = drain(100, Strategy::factoring2(5), 4);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    EXPECT_GE(sizes[i], 5) << "batch chunk fell below the floor";
+  }
+  EXPECT_EQ(sum(sizes), 100);
+}
+
+TEST(Strategy, WeightedFactoringUniformMatchesFactoring2) {
+  // An all-zero weight word means weight 1 everywhere: identical schedule.
+  EXPECT_EQ(drain(100, Strategy::weighted_factoring(0), 4),
+            drain(100, Strategy::factoring2(), 4));
+}
+
+TEST(Strategy, WeightedFactoringScalesChunkByWorkerWeight) {
+  // Worker 0 weight 4, workers 1-3 weight 1 (wsum 7): its batch-0 chunk is
+  // ceil(13*4*4/7) = 30 instead of 13.  drain() dispatches as worker 0.
+  const auto sizes = drain(100, Strategy::weighted_factoring(0x04), 4);
+  EXPECT_EQ(sizes.front(), 30);
+  EXPECT_EQ(sum(sizes), 100);
+}
+
+TEST(Strategy, Tss2ExactSequence) {
+  // Auto first: f = ceil(128/8) = 16, l = 1, N = ceil(256/17) = 16,
+  // delta = (15<<16)/15 = 1.0 fixed-point: 16,15,14,... until the bound
+  // clamps the final grab.
+  EXPECT_EQ(drain(128, Strategy::trapezoid_tuned(0, 1), 4),
+            (std::vector<i64>{16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 2}));
+}
+
+TEST(Strategy, Tss2CeilFirstDiffersFromTrapezoidFloor) {
+  // b=100, P=4: classic trapezoid floors first to 100/8 = 12; tss2 takes
+  // ceil(100/8) = 13 (Tzen/Ni's bound-covering choice).
+  EXPECT_EQ(drain(100, Strategy::trapezoid(0, 1), 4).front(), 12);
+  EXPECT_EQ(drain(100, Strategy::trapezoid_tuned(0, 1), 4).front(), 13);
+}
+
+TEST(Strategy, Tss2FractionalSlopeKeepsDecreasing) {
+  // f-l < N-1 floors the classic trapezoid's integer delta to 0 (constant
+  // chunks); the 16.16 fixed-point ramp still decreases.
+  const auto classic = drain(1000, Strategy::trapezoid(8, 1), 4);
+  const auto tuned = drain(1000, Strategy::trapezoid_tuned(8, 1), 4);
+  EXPECT_EQ(classic[0], classic[classic.size() - 2])
+      << "precondition: integer delta floored to 0";
+  EXPECT_GT(tuned.front(), tuned[tuned.size() - 2])
+      << "fixed-point ramp must actually decrease";
+  EXPECT_EQ(sum(tuned), 1000);
+}
+
+TEST(Strategy, RandomStealChunksStayInGssLikeBand) {
+  // While remaining > 2P every draw lies in [ceil(R/4P), R/2P]; the
+  // endgame degrades to single-iteration steals.
+  const u32 procs = 4;
+  RContext ctx(0, procs);
+  Icb<RContext> icb;
+  icb.init(0, 1000, IndexVec{}, false);
+  i64 index = 1;
+  for (;;) {
+    const Dispatch d = dispatch_iterations(ctx, icb, Strategy::random_steal(7));
+    if (d.count == 0) break;
+    const i64 remaining = 1000 - index + 1;
+    if (remaining > 2 * static_cast<i64>(procs)) {
+      const i64 lo = (remaining + 4 * procs - 1) / (4 * procs);
+      const i64 hi = std::max(lo, remaining / (2 * procs));
+      EXPECT_GE(d.count, std::min(lo, remaining));
+      EXPECT_LE(d.count, hi);
+    } else {
+      EXPECT_EQ(d.count, std::min<i64>(1, remaining));
+    }
+    index += d.count;
+  }
+  EXPECT_EQ(index, 1001);
+}
+
+TEST(Strategy, RandomStealSeedDeterminesSequence) {
+  EXPECT_EQ(drain(500, Strategy::random_steal(42), 4),
+            drain(500, Strategy::random_steal(42), 4));
+  EXPECT_NE(drain(500, Strategy::random_steal(42), 4),
+            drain(500, Strategy::random_steal(43), 4));
+}
+
+TEST(Strategy, AdaptiveConstantChunkWithoutFeedback) {
+  // drain() never feeds timings back, so every grab uses the seed chunk —
+  // which must be exactly the analysis-model optimum for the threaded
+  // engine's calibrated overheads.
+  const i64 k0 = runtime::adaptive_chunk_for(
+      runtime::kAdaptiveDefaultTau, runtime::kAdaptiveThreadO1,
+      runtime::kAdaptiveThreadO2, 1000, 4);
+  EXPECT_GE(k0, 1);
+  const auto sizes = drain(1000, Strategy::adaptive(), 4);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], k0) << "unfed adaptive chunk drifted";
+  }
+}
+
 TEST(Strategy, AllKindsMatchClosedFormAndCoverBound) {
   // Sweep every strategy kind across bounds and processor counts: the
   // dispatched sequence must equal the analytic sequence grab for grab and
@@ -458,6 +617,14 @@ TEST(Strategy, AllKindsMatchClosedFormAndCoverBound) {
       Strategy::gss(),           Strategy::gss(8),
       Strategy::factoring(),     Strategy::factoring(3),
       Strategy::trapezoid(16, 2), Strategy::trapezoid(0, 1),
+      Strategy::factoring2(),    Strategy::factoring2(3),
+      Strategy::weighted_factoring(0x0101020401020301ULL),
+      Strategy::trapezoid_tuned(16, 2),
+      Strategy::trapezoid_tuned(0, 1),
+      Strategy::random_steal(42),
+      Strategy::random_steal(1, 4),
+      Strategy::adaptive(),
+      Strategy::adaptive(10, 2, 64),
   };
   for (const i64 b : {1, 7, 64, 100, 333, 1000}) {
     for (const u32 procs : {1u, 2u, 4u, 8u}) {
@@ -486,6 +653,11 @@ TEST(Strategy, Names) {
   EXPECT_STREQ(Strategy::self().name(), "self(1)");
   EXPECT_STREQ(Strategy::gss().name(), "gss");
   EXPECT_STREQ(Strategy::chunked(5).name(), "chunk");
+  EXPECT_STREQ(Strategy::factoring2().name(), "factoring2");
+  EXPECT_STREQ(Strategy::weighted_factoring().name(), "wfactoring");
+  EXPECT_STREQ(Strategy::trapezoid_tuned().name(), "tss2");
+  EXPECT_STREQ(Strategy::random_steal().name(), "randsteal");
+  EXPECT_STREQ(Strategy::adaptive().name(), "adaptive");
 }
 
 // ------------------------------------------------------------ render_gantt --

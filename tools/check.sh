@@ -15,6 +15,14 @@
 #                                  # then audited under ASan — the
 #                                  # cancellation/drain paths are exactly
 #                                  # where races and leaks would hide
+#   tools/check.sh --adaptive      # adaptive-scheduling conformance suite
+#                                  # (ISSUE 7): the strategy closed-form
+#                                  # oracles, the adaptive tuner tests, the
+#                                  # Eq. 7 model edge cases and the
+#                                  # stall-under-adaptation fault test under
+#                                  # TSan (the threads feedback path), then
+#                                  # audited under ASan, then the E16
+#                                  # acceptance thresholds (bench_adaptive)
 #   tools/check.sh --serve         # resident-service suite: test_serve +
 #                                  # the full serve-stress run (16
 #                                  # submitters, 224 audited programs, P=8,
@@ -37,6 +45,7 @@ EXPLORE=0
 AUDIT=0
 FAULTS=0
 SERVE=0
+ADAPTIVE=0
 LABEL=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -45,9 +54,10 @@ while [[ $# -gt 0 ]]; do
     --audit) AUDIT=1; shift ;;
     --faults) FAULTS=1; shift ;;
     --serve) SERVE=1; shift ;;
+    --adaptive) ADAPTIVE=1; shift ;;
     --label) LABEL="${2:?--label needs an argument}"; shift 2 ;;
     *) echo "usage: tools/check.sh [--fast] [--explore] [--audit]" \
-            "[--faults] [--serve] [--label TIER]" >&2
+            "[--faults] [--serve] [--adaptive] [--label TIER]" >&2
        exit 2 ;;
   esac
 done
@@ -56,6 +66,30 @@ done
 # that exercise cancellation-adjacent machinery (teardown spins, Doacross
 # waits, the thread team's exception path).
 FAULT_TESTS='FaultBody|FaultInject|FaultDeadline|FaultDrain|FaultReplay|FaultHooks|FaultDoacross|AuditCancel|ThreadTeam'
+
+# The adaptive-conformance filter: the portfolio's closed-form oracle units
+# (Strategy*), the tuner suite (Adaptive*/PortfolioSweep), the completion-
+# time model edge cases, and the stall-under-adaptation fault test.
+ADAPTIVE_TESTS='Strategy|Adaptive|PortfolioSweep|CompletionModel|FaultAdaptive'
+
+if [[ "$ADAPTIVE" == 1 ]]; then
+  echo "== adaptive: TSan build, strategy-conformance suite =="
+  cmake -B build-tsan -S . -DSELFSCHED_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS" --target test_adaptive \
+      test_runtime_units test_analysis test_fault
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
+      -R "$ADAPTIVE_TESTS")
+  echo "== adaptive: ASan build, audited conformance suite =="
+  cmake -B build-asan -S . -DSELFSCHED_SANITIZE=address
+  cmake --build build-asan -j "$JOBS" --target test_adaptive \
+      test_runtime_units test_analysis test_fault bench_adaptive
+  (cd build-asan && SELFSCHED_AUDIT=1 ctest --output-on-failure -j "$JOBS" \
+      -R "$ADAPTIVE_TESTS")
+  echo "== adaptive: E16 acceptance thresholds =="
+  ./build-asan/bench/bench_adaptive > /dev/null
+  echo "== OK (adaptive) =="
+  exit 0
+fi
 
 if [[ "$FAULTS" == 1 ]]; then
   echo "== faults: TSan build, fault-tolerance suite =="

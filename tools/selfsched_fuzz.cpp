@@ -31,13 +31,20 @@ using namespace selfsched;
 namespace {
 
 runtime::Strategy strategy_for_seed(u64 seed) {
-  switch (seed % 5) {
+  switch (seed % 10) {
     case 0: return runtime::Strategy::self();
     case 1:
       return runtime::Strategy::chunked(static_cast<i64>(seed % 7) + 2);
     case 2: return runtime::Strategy::gss();
     case 3: return runtime::Strategy::factoring();
-    default: return runtime::Strategy::trapezoid();
+    case 4: return runtime::Strategy::trapezoid();
+    case 5: return runtime::Strategy::factoring2();
+    case 6:
+      // Derive a packed weight word from the seed; zero bytes read as 1.
+      return runtime::Strategy::weighted_factoring(seed * 0x9e3779b97f4a7c15ULL);
+    case 7: return runtime::Strategy::trapezoid_tuned();
+    case 8: return runtime::Strategy::random_steal(seed | 1);
+    default: return runtime::Strategy::adaptive();
   }
 }
 
@@ -51,6 +58,7 @@ struct FuzzCase {
   bool central_queue = false;
   u32 strategy_kind = 0;  // runtime::Strategy::Kind as u32
   i64 strategy_chunk = 1;
+  u64 strategy_aux = 0;   // wf_weights / rs_seed, by kind
   bool threads_engine = false;
 };
 
@@ -61,6 +69,7 @@ FuzzCase case_for_seed(u64 seed, u32 max_procs, u32 depth) {
   const runtime::Strategy s = strategy_for_seed(seed);
   c.strategy_kind = static_cast<u32>(s.kind);
   c.strategy_chunk = s.chunk;
+  c.strategy_aux = s.wf_weights != 0 ? s.wf_weights : s.rs_seed;
   c.pool_shards = 1 + static_cast<u32>(seed % 3);
   c.central_queue = seed % 7 == 0;
   c.procs = 1 + static_cast<u32>(seed % max_procs);
@@ -72,6 +81,11 @@ runtime::SchedOptions options_for(const FuzzCase& c) {
   opts.strategy.kind =
       static_cast<runtime::Strategy::Kind>(c.strategy_kind);
   opts.strategy.chunk = c.strategy_chunk;
+  if (opts.strategy.kind == runtime::Strategy::Kind::kWeightedFactoring) {
+    opts.strategy.wf_weights = c.strategy_aux;
+  } else if (opts.strategy.kind == runtime::Strategy::Kind::kRandomSteal) {
+    opts.strategy.rs_seed = c.strategy_aux != 0 ? c.strategy_aux : 1;
+  }
   opts.pool_shards = c.pool_shards;
   opts.central_queue = c.central_queue;
   return opts;
@@ -103,6 +117,7 @@ vtime::ReproFile repro_for(const FuzzCase& c,
   put("central_queue", c.central_queue ? 1 : 0);
   put("strategy_kind", c.strategy_kind);
   put("strategy_chunk", static_cast<u64>(c.strategy_chunk));
+  put("strategy_aux", c.strategy_aux);
   put("engine", c.threads_engine ? 1 : 0);
   return r;
 }
@@ -125,6 +140,8 @@ bool case_from_repro(const vtime::ReproFile& r, FuzzCase& c) {
       c.strategy_kind = static_cast<u32>(parse_u64(v));
     } else if (k == "strategy_chunk") {
       c.strategy_chunk = static_cast<i64>(parse_u64(v));
+    } else if (k == "strategy_aux") {
+      c.strategy_aux = parse_u64(v);
     } else if (k == "engine") {
       c.threads_engine = parse_u64(v) != 0;
     }
