@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/shard_math.hpp"
+
 namespace selfsched::audit {
 
 namespace {
@@ -72,11 +74,15 @@ u32 Auditor::on_acquire(ProcId w, const void* icb) {
   s.attach_balance = 0;
   s.completions = 0;
   s.da_posted.clear();
+  s.nshards = 1;
+  s.shard_granted.clear();
+  s.shard_exhausted.clear();
+  s.shard_elections = 0;
   return v;
 }
 
 u32 Auditor::on_publish(ProcId w, const void* icb, LoopId loop, u64 ivec_hash,
-                        i64 bound, u32 list) {
+                        i64 bound, u32 list, u32 shards) {
   std::lock_guard lk(mu_);
   ++events_;
   Shadow& s = shadow(icb);
@@ -90,6 +96,10 @@ u32 Auditor::on_publish(ProcId w, const void* icb, LoopId loop, u64 ivec_hash,
   s.ivec_hash = ivec_hash;
   s.bound = bound;
   s.list = list;
+  s.nshards = shards < 1 ? 1 : shards;
+  s.shard_granted.assign(s.nshards, 0);
+  s.shard_exhausted.assign(s.nshards, 0);
+  s.shard_elections = 0;
   if (bound < 1) {
     v += violate(&s, w, "publish-empty-instance",
                  fmt("instance published with bound %lld",
@@ -161,6 +171,70 @@ u32 Auditor::on_dispatch(ProcId w, const void* icb, i64 first, i64 count) {
   return v;
 }
 
+u32 Auditor::on_shard_grant(ProcId w, const void* icb, u32 shard, i64 first,
+                            i64 count, bool stolen) {
+  std::lock_guard lk(mu_);
+  ++events_;
+  Shadow& s = shadow(icb);
+  u32 v = 0;
+  if (shard >= s.nshards) {
+    return v + violate(&s, w, "shard-id-out-of-range",
+                       fmt("grant from shard %u of %u", shard, s.nshards));
+  }
+  // Shard geometry recomputed from first principles — the auditor never
+  // trusts the runtime's copy of the partition.
+  const i64 lo = shard::shard_lo(s.bound, s.nshards, shard);
+  const i64 hi = shard::shard_hi(s.bound, s.nshards, shard);
+  const i64 size = shard::shard_size(s.bound, s.nshards, shard);
+  if (first < lo || count < 1 || first + count - 1 > hi) {
+    v += violate(&s, w, "shard-grant-out-of-range",
+                 fmt("shard %u granted [%lld, %lld] outside [%lld, %lld]",
+                     shard, static_cast<long long>(first),
+                     static_cast<long long>(first + count - 1),
+                     static_cast<long long>(lo), static_cast<long long>(hi)));
+  }
+  if (s.shard_granted.size() <= shard) {
+    s.shard_granted.resize(s.nshards, 0);
+  }
+  s.shard_granted[shard] += count;
+  if (s.shard_granted[shard] > size) {
+    // Sum-based, so it fires regardless of hook arrival order: a grant from
+    // a drained (stolen-empty) shard pushes the sum past the shard size.
+    v += violate(&s, w, "shard-grant-overrun",
+                 fmt("shard %u granted %lld of %lld iterations%s", shard,
+                     static_cast<long long>(s.shard_granted[shard]),
+                     static_cast<long long>(size),
+                     stolen ? " (stolen)" : ""));
+  }
+  return v;
+}
+
+u32 Auditor::on_shard_exhaust(ProcId w, const void* icb, u32 shard,
+                              bool elected) {
+  std::lock_guard lk(mu_);
+  ++events_;
+  Shadow& s = shadow(icb);
+  u32 v = 0;
+  if (shard >= s.nshards) {
+    return v + violate(&s, w, "shard-id-out-of-range",
+                       fmt("exhaust of shard %u of %u", shard, s.nshards));
+  }
+  if (s.shard_exhausted.size() <= shard) {
+    s.shard_exhausted.resize(s.nshards, 0);
+  }
+  if (++s.shard_exhausted[shard] > 1) {
+    v += violate(&s, w, "shard-drained-twice",
+                 fmt("shard %u's final iteration granted %lld times", shard,
+                     static_cast<long long>(s.shard_exhausted[shard])));
+  }
+  if (elected && ++s.shard_elections > 1) {
+    v += violate(&s, w, "shard-completion-twice",
+                 fmt("completion election won %lld times across shards",
+                     static_cast<long long>(s.shard_elections)));
+  }
+  return v;
+}
+
 u32 Auditor::on_complete(ProcId w, const void* icb, i64 icount_before,
                          i64 count) {
   std::lock_guard lk(mu_);
@@ -211,6 +285,36 @@ u32 Auditor::release_locked(ProcId w, const void* icb) {
     v += violate(&s, w, "release-before-completion",
                  fmt("released with %lld bound-reaching icount updates",
                      static_cast<long long>(s.completions)));
+  }
+  if (s.state == IcbState::kDraining && s.nshards > 1) {
+    // Shard-sum conservation at drain.  Sound here (not at exhaust time):
+    // the releaser's icount observation happens-after every worker's grant
+    // hooks, so all shard grants have been delivered by now.
+    i64 granted_sum = 0;
+    for (const i64 g : s.shard_granted) granted_sum += g;
+    if (granted_sum != s.bound) {
+      v += violate(&s, w, "shard-conservation",
+                   fmt("shard grants sum to %lld, icount drained %lld",
+                       static_cast<long long>(granted_sum),
+                       static_cast<long long>(s.bound)));
+    }
+    const u32 live = shard::live_shards(s.bound, s.nshards);
+    for (u32 g = 0; g < s.nshards; ++g) {
+      const i64 expect = g < live ? 1 : 0;
+      const i64 got =
+          g < s.shard_exhausted.size() ? s.shard_exhausted[g] : 0;
+      if (got != expect) {
+        v += violate(&s, w, "shard-not-drained",
+                     fmt("shard %u drained %lld times (expected %lld)", g,
+                         static_cast<long long>(got),
+                         static_cast<long long>(expect)));
+      }
+    }
+    if (s.shard_elections != 1) {
+      v += violate(&s, w, "shard-election-count",
+                   fmt("completion election won %lld times (expected once)",
+                       static_cast<long long>(s.shard_elections)));
+    }
   }
   s.state = IcbState::kReleased;
   --outstanding_shadow_;

@@ -80,7 +80,7 @@ class Auditor {
   // --- ICB lifecycle (hook seams in icb_pool/task_pool/high_level/worker) --
   u32 on_acquire(ProcId w, const void* icb);
   u32 on_publish(ProcId w, const void* icb, LoopId loop, u64 ivec_hash,
-                 i64 bound, u32 list);
+                 i64 bound, u32 list, u32 shards = 1);
   /// Successful {pcount < bound ; Increment} in SEARCH (under the list lock).
   u32 on_attach(ProcId w, const void* icb);
   /// Post-attach re-check failed: the attach was revoked before dispatch.
@@ -89,6 +89,17 @@ class Auditor {
   u32 on_detach(ProcId w, const void* icb, i64 pcount_before);
   /// Successful low-level grab of [first, first+count).
   u32 on_dispatch(ProcId w, const void* icb, i64 first, i64 count);
+  /// Successful grab of [first, first+count) from shard `shard` of a sharded
+  /// index (`stolen` = non-home shard).  Checks are order-independent —
+  /// cross-worker hook delivery is unordered, so each grant is validated
+  /// against the shard geometry (recomputed from bound and the shard count
+  /// via shard_math) and the running per-shard grant sum, never against
+  /// arrival order.
+  u32 on_shard_grant(ProcId w, const void* icb, u32 shard, i64 first,
+                     i64 count, bool stolen);
+  /// The grant that took shard `shard`'s final iteration; `elected` marks
+  /// the sched_done increment that won the completion election.
+  u32 on_shard_exhaust(ProcId w, const void* icb, u32 shard, bool elected);
   /// {icount ; Fetch&Add(count)}; `icount_before` is the fetched value.
   u32 on_complete(ProcId w, const void* icb, i64 icount_before, i64 count);
   /// DELETE from the task-pool list (under the list lock).
@@ -163,6 +174,11 @@ class Auditor {
     i64 attach_balance = 0;  // attaches - (revokes + detaches), per generation
     i64 completions = 0;     // icount updates that reached the bound
     std::vector<bool> da_posted;  // lazily sized bound+1 (Doacross only)
+    // Sharded-index shadow (num_shards > 1 generations only):
+    u32 nshards = 1;
+    std::vector<i64> shard_granted;    // iterations granted per shard
+    std::vector<i64> shard_exhausted;  // exhaust hooks seen per shard
+    i64 shard_elections = 0;           // elected exhausts (must end at 1)
   };
 
   Shadow& shadow(const void* icb);  // caller holds mu_

@@ -79,15 +79,16 @@ inline void on_acquire(C& ctx, const void* icb) {
 
 template <typename C>
 inline void on_publish(C& ctx, const void* icb, LoopId loop, u64 ivec_hash,
-                       i64 bound, u32 list) {
+                       i64 bound, u32 list, u32 shards = 1) {
   SELFSCHED_AUDIT_HOOK_BODY(
-      on_publish(ctx.proc(), icb, loop, ivec_hash, bound, list))
+      on_publish(ctx.proc(), icb, loop, ivec_hash, bound, list, shards))
   (void)ctx;
   (void)icb;
   (void)loop;
   (void)ivec_hash;
   (void)bound;
   (void)list;
+  (void)shards;
 }
 
 /// Convenience wrapper over on_publish for call sites holding the ICB
@@ -102,7 +103,7 @@ inline void on_publish_icb(C& ctx, const IcbT* ip, u32 list) {
       detail::account(
           ctx, a->on_publish(ctx.proc(), ip, ip->loop,
                              trace::ivec_hash(ip->ivec, ip->depth), ip->bound,
-                             list));
+                             list, ip->num_shards));
     }
   }
 #endif
@@ -150,6 +151,33 @@ inline void on_complete(C& ctx, const void* icb, i64 icount_before,
   (void)icb;
   (void)icount_before;
   (void)count;
+}
+
+/// Successful grab of [first, first+count) from shard `shard` of a sharded
+/// index; `stolen` marks a grant from a non-home shard.
+template <typename C>
+inline void on_shard_grant(C& ctx, const void* icb, u32 shard, i64 first,
+                           i64 count, bool stolen) {
+  SELFSCHED_AUDIT_HOOK_BODY(
+      on_shard_grant(ctx.proc(), icb, shard, first, count, stolen))
+  (void)ctx;
+  (void)icb;
+  (void)shard;
+  (void)first;
+  (void)count;
+  (void)stolen;
+}
+
+/// The grab above took shard `shard`'s final iteration; `elected` marks the
+/// sched_done increment that won the instance-wide completion election.
+template <typename C>
+inline void on_shard_exhaust(C& ctx, const void* icb, u32 shard,
+                             bool elected) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_shard_exhaust(ctx.proc(), icb, shard, elected))
+  (void)ctx;
+  (void)icb;
+  (void)shard;
+  (void)elected;
 }
 
 template <typename C>

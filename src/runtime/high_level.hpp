@@ -164,12 +164,24 @@ inline bool cancel_requested(C& ctx, SchedState<C>& st) {
 /// poison either: their in-flight CAS {index == seen ; Fetch&Add} requires
 /// the pre-fetched (legal, <= bound) value to still be current.  Instances
 /// already fully scheduled (index past bound) are unchanged in behavior.
+/// Sharded instances get every shard's index poisoned past its own
+/// sub-range the same way; `sched_done` is deliberately NOT forged — an
+/// in-flight final grant may still legitimately win the completion
+/// election, and post-cancel searchers that attach to a drained-looking
+/// sharded instance just fail every probe and detach (bounded by the
+/// `done` check SEARCH makes each round).
 template <exec::ExecutionContext C>
 void poison_pool(C& ctx, SchedState<C>& st) {
   for (u32 i = 0; i < st.pool.num_lists(); ++i) {
     ctx_lock(ctx, st.pool.list_lock(i));
     for (Icb<C>* ip = st.pool.list_head(i); ip != nullptr; ip = ip->right) {
       ctx.sync_op(ip->index, Test::kNone, 0, Op::kStore, ip->bound + 1);
+      if (ip->num_shards > 1) {
+        for (u32 g = 0; g < ip->num_shards; ++g) {
+          IcbShard<C>& sh = ip->shards[g];
+          ctx.sync_op(sh.index, Test::kNone, 0, Op::kStore, sh.hi + 1);
+        }
+      }
     }
     ctx_unlock(ctx, st.pool.list_lock(i));
   }
@@ -452,7 +464,9 @@ void enter(C& ctx, SchedState<C>& st, LoopId cur, Level level,
                    static_cast<Cycles>(d->depth));
       }
       Icb<C>* icb = st.icbs.acquire(ctx);
-      icb->init(cur, b, ivec, d->doacross.has_value(), d->depth);
+      icb->init(cur, b, ivec, d->doacross.has_value(), d->depth,
+                std::min(std::max(1u, st.opts.index_shards),
+                         shard::kMaxIndexShards));
       icb->pool_list = st.list_of(cur, ctx.proc());
       ctx.sync_op(st.outstanding, Test::kNone, 0, Op::kIncrement);
       st.pool.append(ctx, icb->pool_list, icb);
@@ -499,6 +513,23 @@ enum class SearchOutcome : u32 {
   kDone,      // the program terminated (or was cancelled); worker drains out
   kYield,     // the yield predicate fired while detached
 };
+
+/// SEARCH's "unscheduled iterations remain" probe — one sync op either way.
+/// Flat: the paper's {index <= bound ; Fetch}.  Sharded: the flat index is
+/// unused, and no single shard index can answer for the whole instance, so
+/// probe the drained-shard election counter instead: {sched_done <
+/// live_shards ; Fetch} is false exactly when every live shard's final
+/// iteration has been granted.
+template <exec::ExecutionContext C>
+inline bool icb_has_unscheduled(C& ctx, Icb<C>* ip) {
+  if (ip->num_shards > 1) {
+    return ctx
+        .sync_op(ip->sched_done, Test::kLT, static_cast<i64>(ip->live_shards),
+                 Op::kFetch)
+        .success;
+  }
+  return ctx.sync_op(ip->index, Test::kLE, ip->bound, Op::kFetch).success;
+}
 
 // ---------------------------------------------------------------------------
 // SEARCH — Algorithm 4, with two scalability refinements over the paper's
@@ -596,8 +627,7 @@ SearchOutcome search_until(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor,
       // took the last iterations acquires the list lock for DELETE; if
       // searchers kept attach/detach-churning on it, their lock traffic
       // could starve that DELETE indefinitely.
-      const bool has_unscheduled =
-          ctx.sync_op(ip->index, Test::kLE, ip->bound, Op::kFetch).success;
+      const bool has_unscheduled = icb_has_unscheduled(ctx, ip);
       if (has_unscheduled &&
           ctx.sync_op(ip->pcount, Test::kLT, ip->bound, Op::kIncrement)
               .success) {
@@ -611,8 +641,7 @@ SearchOutcome search_until(C& ctx, SchedState<C>& st, WorkerCursor<C>& cursor,
         // remaining window (iterations exhausted after this re-test) is
         // benign and handled by the grab-failure detach path, which the
         // auditor's pcount/balance checks cover.
-        if (ctx.sync_op(ip->index, Test::kLE, ip->bound, Op::kFetch)
-                .success) {
+        if (icb_has_unscheduled(ctx, ip)) {
           attached = true;
           break;
         }

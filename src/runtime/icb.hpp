@@ -19,16 +19,38 @@
 //   adapt/adapt_tau             adaptive-strategy tuned chunk + body-time
 //                               EWMA (extension slots)
 //   da_flags                    Doacross post flags, one per iteration
+//   shards/sched_done           sharded low-level index — per-shard counters
+//                               plus the drained-shard election (extension;
+//                               docs/sharding.md)
 #pragma once
 
 #include <memory>
 
+#include "common/cacheline.hpp"
 #include "common/check.hpp"
+#include "common/shard_math.hpp"
 #include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "exec/context.hpp"
 
 namespace selfsched::runtime {
+
+/// One shard of a sharded low-level index (SchedOptions::index_shards > 1):
+/// private dispatch counters plus the contiguous sub-range [lo, hi] of the
+/// instance's iteration space this shard owns.  `index` starts at `lo` and
+/// is driven by the same strategy chunk rule as the flat counter, gated on
+/// `hi`; `aux` is the shard-local dispatch sequence counter for the
+/// trapezoid/factoring2 families.  lo/hi are plain values: written once in
+/// init (published by APPEND, like every other ICB field) and read-only
+/// afterwards.  Cache-line aligned so sibling shards — the whole point of
+/// sharding — never false-share.
+template <exec::ExecutionContext C>
+struct alignas(kCacheLine) IcbShard {
+  typename C::Sync index;
+  typename C::Sync aux;
+  i64 lo = 1;
+  i64 hi = 0;
+};
 
 template <exec::ExecutionContext C>
 struct Icb {
@@ -60,6 +82,20 @@ struct Icb {
   std::unique_ptr<typename C::Sync[]> da_flags;
   i64 da_flags_cap = 0;
 
+  /// Sharded low-level index state (SchedOptions::index_shards > 1; see
+  /// docs/sharding.md).  `num_shards` is the configured G; `live_shards`
+  /// counts the non-empty shards (min(bound, G)) that participate in the
+  /// completion election; `sched_done` counts shards a worker has observed
+  /// drained — the low level is exhausted exactly when sched_done ==
+  /// live_shards, which replaces the flat `{index <= bound}` SEARCH
+  /// pre-test.  Empty when num_shards == 1 (the flat path never touches
+  /// any of this).
+  std::unique_ptr<IcbShard<C>[]> shards;
+  u32 shards_cap = 0;
+  u32 num_shards = 1;
+  u32 live_shards = 0;
+  typename C::Sync sched_done;
+
   /// Prepare for (re)use as an instance of loop `l`.
   ///
   /// Plain writes — safe under the threaded engine because the ICB is never
@@ -80,8 +116,9 @@ struct Icb {
   /// ICB-recycling stress test in test_scheduler_threads.cpp exercises this
   /// chain under TSan with both recycled auxiliaries.
   void init(LoopId l, i64 b, const IndexVec& iv, bool needs_da_flags,
-            Level dep = kMaxDepth) {
+            Level dep = kMaxDepth, u32 index_shards = 1) {
     SS_DCHECK(b >= 1);
+    SS_DCHECK(index_shards >= 1 && index_shards <= shard::kMaxIndexShards);
     right = left = nullptr;
     loop = l;
     bound = b;
@@ -93,6 +130,22 @@ struct Icb {
     aux.reset(0);
     adapt.reset(0);
     adapt_tau.reset(0);
+    num_shards = index_shards;
+    live_shards = shard::live_shards(b, index_shards);
+    sched_done.reset(0);
+    if (index_shards > 1) {
+      if (shards_cap < index_shards) {
+        shards = std::make_unique<IcbShard<C>[]>(index_shards);
+        shards_cap = index_shards;
+      }
+      for (u32 g = 0; g < index_shards; ++g) {
+        IcbShard<C>& sh = shards[g];
+        sh.lo = shard::shard_lo(b, index_shards, g);
+        sh.hi = shard::shard_hi(b, index_shards, g);
+        sh.index.reset(sh.lo);
+        sh.aux.reset(0);
+      }
+    }
     if (needs_da_flags) {
       if (da_flags_cap < b + 1) {
         da_flags = std::make_unique<typename C::Sync[]>(

@@ -1,8 +1,9 @@
 // ICB allocator: a free list over an address-stable arena, guarded by the
 // paper's lock protocol.  ICBs are created by ENTER and released by the
 // last processor to leave a completed instance (Algorithm 3's "release the
-// ICB"); recycling keeps activation cost flat and — in the Doacross case —
-// reuses the per-iteration flag arrays.
+// ICB"); recycling keeps activation cost flat and reuses the heap-backed
+// auxiliaries — the Doacross per-iteration flag arrays and the sharded-index
+// shard counter arrays (both capacity-tracked in Icb::init).
 #pragma once
 
 #include <deque>

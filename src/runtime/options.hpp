@@ -129,6 +129,17 @@ struct SchedOptions {
   /// same loop.  1 reproduces the paper's layout exactly.
   u32 pool_shards = 1;
 
+  /// Shards of each instance's low-level `index` counter (>= 1, clamped to
+  /// shard::kMaxIndexShards).  With G > 1 the iteration range [1, b] is
+  /// split into G contiguous sub-ranges, each with its own index/aux sync
+  /// vars; a worker dispatches from its home shard (block mapping by
+  /// processor id) and steals from sibling shards only when its home is
+  /// drained.  Spreads the per-instance grab traffic that a single shared
+  /// index funnels through one location — the distributed-chunk-calculation
+  /// idea (arXiv:2101.07050); see docs/sharding.md.  1 reproduces the flat
+  /// paper layout exactly (same sync-op and cost sequence).
+  u32 index_shards = 1;
+
   /// Failure policy after a cancelled run (see OnBodyError).
   OnBodyError on_body_error = OnBodyError::kThrow;
 

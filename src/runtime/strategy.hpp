@@ -49,8 +49,10 @@
 #include <ctime>
 
 #include "analysis/model.hpp"
+#include "audit/hooks.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/shard_math.hpp"
 #include "exec/context.hpp"
 #include "runtime/ctx_sync.hpp"
 #include "runtime/icb.hpp"
@@ -316,13 +318,26 @@ Cycles adaptive_clock(C& ctx) {
   }
 }
 
-/// Grab the next block of iterations from `icb` according to `s`.
-/// Implements the paper's "start:" step generalized to multi-iteration
-/// chunks: {index <= b ; Fetch&Add(k)}.
+/// Grab the next block of iterations from one contiguous sub-range [lo, hi]
+/// driven by the (index, aux) counter pair, according to `s`.  This is the
+/// paper's "start:" step generalized twice: to multi-iteration chunks
+/// ({index <= hi ; Fetch&Add(k)}) and to an arbitrary sub-range, so the same
+/// switch serves both the flat low level (lo = 1, hi = bound, the instance's
+/// own counters) and one shard of a sharded index (the shard's counters and
+/// ownership range, with `procs` the shard's worker share so remaining/P
+/// rules see their actual contenders).  With the flat arguments this is
+/// op-for-op and charge-for-charge identical to the pre-sharding dispatcher
+/// — the vtime golden results pin that.
+///
+/// `last_scheduled` on return means "this grab took the final iteration of
+/// [lo, hi]"; the sharded caller converts that into the instance-wide
+/// completion election.
 template <exec::ExecutionContext C>
-Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
-  const i64 b = icb.bound;
-  const u32 procs = ctx.num_procs();
+Dispatch dispatch_range(C& ctx, Icb<C>& icb, typename C::Sync& index,
+                        typename C::Sync& aux, i64 lo, i64 hi, u32 procs,
+                        const Strategy& s) {
+  const i64 b = hi;             // gate / remaining-count anchor
+  const i64 span = hi - lo + 1;  // total work the chunk rules size against
 
   const auto finish = [b](i64 first, i64 want) {
     Dispatch d;
@@ -336,7 +351,7 @@ Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
     case Strategy::Kind::kSelf:
     case Strategy::Kind::kChunk: {
       const i64 k = (s.kind == Strategy::Kind::kSelf) ? 1 : s.chunk;
-      const auto r = ctx.sync_op(icb.index, sync::Test::kLE, b,
+      const auto r = ctx.sync_op(index, sync::Test::kLE, b,
                                  sync::Op::kFetchAdd, k);
       if (!r.success) return {};
       return finish(r.fetched, k);
@@ -346,7 +361,7 @@ Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
     case Strategy::Kind::kFactoring: {
       for (;;) {
         const auto seen =
-            ctx.sync_op(icb.index, sync::Test::kLE, b, sync::Op::kFetch);
+            ctx.sync_op(index, sync::Test::kLE, b, sync::Op::kFetch);
         if (!seen.success) return {};
         const i64 remaining = b - seen.fetched + 1;
         const i64 div = (s.kind == Strategy::Kind::kGSS)
@@ -355,7 +370,7 @@ Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
         if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
         const i64 want =
             std::max(s.chunk, (remaining + div - 1) / div);
-        const auto cas = ctx.sync_op(icb.index, sync::Test::kEQ, seen.fetched,
+        const auto cas = ctx.sync_op(index, sync::Test::kEQ, seen.fetched,
                                      sync::Op::kFetchAdd, want);
         if (cas.success) return finish(cas.fetched, want);
         // Another processor moved index between our Fetch and our CAS;
@@ -371,19 +386,19 @@ Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
       const i64 first_chunk =
           s.tss_first > 0
               ? s.tss_first
-              : std::max<i64>(1, b / (2 * static_cast<i64>(procs)));
+              : std::max<i64>(1, span / (2 * static_cast<i64>(procs)));
       const i64 avg = std::max<i64>(1, (first_chunk + s.tss_last) / 2);
-      const i64 n_dispatch = std::max<i64>(1, (b + avg - 1) / avg);
+      const i64 n_dispatch = std::max<i64>(1, (span + avg - 1) / avg);
       const i64 delta =
           n_dispatch > 1 ? std::max<i64>(0, (first_chunk - s.tss_last) /
                                                 (n_dispatch - 1))
                          : 0;
       const auto seq =
-          ctx.sync_op(icb.aux, sync::Test::kNone, 0, sync::Op::kIncrement);
+          ctx.sync_op(aux, sync::Test::kNone, 0, sync::Op::kIncrement);
       if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
       const i64 want =
           std::max(s.tss_last, first_chunk - seq.fetched * delta);
-      const auto r = ctx.sync_op(icb.index, sync::Test::kLE, b,
+      const auto r = ctx.sync_op(index, sync::Test::kLE, b,
                                  sync::Op::kFetchAdd, want);
       if (!r.success) return {};
       return finish(r.fetched, want);
@@ -395,16 +410,16 @@ Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
       // a slot; slot -> batch -> closed-form chunk size.  Weighted variant
       // scales the batch chunk by this worker's share of the weight mass.
       const auto seq =
-          ctx.sync_op(icb.aux, sync::Test::kNone, 0, sync::Op::kIncrement);
+          ctx.sync_op(aux, sync::Test::kNone, 0, sync::Op::kIncrement);
       if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
-      i64 want = factoring2_chunk_at(b, procs, seq.fetched, s.chunk);
+      i64 want = factoring2_chunk_at(span, procs, seq.fetched, s.chunk);
       if (s.kind == Strategy::Kind::kWeightedFactoring) {
         const i64 w = wf_weight_of(s.wf_weights, ctx.proc());
         const i64 wsum = wf_weight_sum(s.wf_weights, procs);
         const i64 p = std::max<i64>(1, static_cast<i64>(procs));
         want = std::max(s.chunk, (want * p * w + wsum - 1) / wsum);
       }
-      const auto r = ctx.sync_op(icb.index, sync::Test::kLE, b,
+      const auto r = ctx.sync_op(index, sync::Test::kLE, b,
                                  sync::Op::kFetchAdd, want);
       if (!r.success) return {};
       return finish(r.fetched, want);
@@ -412,11 +427,11 @@ Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
 
     case Strategy::Kind::kTrapezoidTuned: {
       const auto seq =
-          ctx.sync_op(icb.aux, sync::Test::kNone, 0, sync::Op::kIncrement);
+          ctx.sync_op(aux, sync::Test::kNone, 0, sync::Op::kIncrement);
       if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
       const i64 want =
-          tss2_chunk_at(b, procs, seq.fetched, s.tss_first, s.tss_last);
-      const auto r = ctx.sync_op(icb.index, sync::Test::kLE, b,
+          tss2_chunk_at(span, procs, seq.fetched, s.tss_first, s.tss_last);
+      const auto r = ctx.sync_op(index, sync::Test::kLE, b,
                                  sync::Op::kFetchAdd, want);
       if (!r.success) return {};
       return finish(r.fetched, want);
@@ -427,13 +442,13 @@ Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
       // the randomness keys off the fetched index, which the CAS pins.
       for (;;) {
         const auto seen =
-            ctx.sync_op(icb.index, sync::Test::kLE, b, sync::Op::kFetch);
+            ctx.sync_op(index, sync::Test::kLE, b, sync::Op::kFetch);
         if (!seen.success) return {};
         const i64 remaining = b - seen.fetched + 1;
         if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
         const i64 want = random_steal_chunk(s.rs_seed, seen.fetched,
                                             remaining, procs, s.chunk);
-        const auto cas = ctx.sync_op(icb.index, sync::Test::kEQ, seen.fetched,
+        const auto cas = ctx.sync_op(index, sync::Test::kEQ, seen.fetched,
                                      sync::Op::kFetchAdd, want);
         if (cas.success) return finish(cas.fetched, want);
         trace::bump(ctx, &trace::Counters::cas_retries);
@@ -444,11 +459,15 @@ Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
       // Read the instance's current tuned chunk; first arrival runs a
       // seeding election ({adapt == 0 ; Store k0}) so exactly one worker
       // pays the model evaluation and every loser adopts the winner's k0.
+      // Tuning state stays instance-global under sharding: the tuned chunk
+      // and tau EWMA live in the ICB's own sync vars and the seed optimizes
+      // for the whole instance (bound, all P workers), so every shard grabs
+      // with the same adaptively tuned k.  Only the gate is per-range.
       i64 k = ctx.sync_op(icb.adapt, sync::Test::kNone, 0, sync::Op::kFetch)
                   .fetched;
       if (k <= 0) {
         if constexpr (C::kIsSimulated) ctx.charge(ctx.costs().dispatch_arith);
-        const i64 k0 = adaptive_seed_chunk(ctx, s, b, procs);
+        const i64 k0 = adaptive_seed_chunk(ctx, s, icb.bound, ctx.num_procs());
         if (ctx.sync_op(icb.adapt, sync::Test::kEQ, 0, sync::Op::kStore, k0)
                 .success) {
           k = k0;
@@ -459,13 +478,96 @@ Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
                      .fetched);
         }
       }
-      const auto r = ctx.sync_op(icb.index, sync::Test::kLE, b,
+      const auto r = ctx.sync_op(index, sync::Test::kLE, b,
                                  sync::Op::kFetchAdd, k);
       if (!r.success) return {};
       return finish(r.fetched, k);
     }
   }
   return {};
+}
+
+/// Sharded low-level dispatch (SchedOptions::index_shards > 1; see
+/// docs/sharding.md).  The worker probes its home shard first (block mapping
+/// by processor id), then siblings in ascending rotation — steal-on-
+/// exhaustion: a cross-shard probe only happens once the previous shard was
+/// observed drained.  The instance-wide exactly-once completion election
+/// generalizes from "the grab that took iteration b" to "the grab that took
+/// the last iteration of the last live shard to drain": each live shard's
+/// final iteration is granted exactly once (same monotone-index argument as
+/// the flat gate), that grab increments `sched_done`, and the increment that
+/// observes live_shards - 1 wins the election.
+///
+/// vtime topology model: a probe of a shard homed outside the worker's
+/// topology group is charged cross_group_sync_extra, and every steal probe
+/// (any non-home shard) adds steal_probe_extra.  All decisions are functions
+/// of engine-serialized sync ops, so sharded runs — including which shard a
+/// worker stole from — record and replay bit-identically.
+template <exec::ExecutionContext C>
+Dispatch dispatch_sharded(C& ctx, Icb<C>& icb, const Strategy& s) {
+  const u32 g_count = icb.num_shards;
+  const u32 procs = ctx.num_procs();
+  const u32 home = shard::home_shard_of(ctx.proc(), procs, g_count);
+  const u32 sprocs = shard::shard_procs(procs, g_count);
+  for (u32 probe = 0; probe < g_count; ++probe) {
+    const u32 g = (home + probe) % g_count;
+    IcbShard<C>& sh = icb.shards[g];
+    if (sh.lo > sh.hi) continue;  // empty shard (bound < G): never granted
+    const bool cross = g != home;
+    if (cross) {
+      trace::bump(ctx, &trace::Counters::cross_shard_ops);
+      if constexpr (C::kIsSimulated) {
+        ctx.charge(ctx.costs().steal_probe_extra);
+      }
+    }
+    if constexpr (C::kIsSimulated) {
+      const auto& cm = ctx.costs();
+      if (cm.topo_groups > 1 &&
+          shard::topo_group_of(ctx.proc(), procs, cm.topo_groups) !=
+              shard::shard_home_group(g, g_count, cm.topo_groups)) {
+        ctx.charge(cm.cross_group_sync_extra);
+      }
+    }
+    Dispatch d =
+        dispatch_range(ctx, icb, sh.index, sh.aux, sh.lo, sh.hi, sprocs, s);
+    if (d.count == 0) continue;  // shard drained: steal from the next sibling
+    trace::bump(ctx, &trace::Counters::shard_grants);
+    if (cross) trace::bump(ctx, &trace::Counters::shard_steals);
+    audit::on_shard_grant(ctx, &icb, g, d.first, d.count, cross);
+    if (d.last_scheduled) {
+      // This grab drained shard g: join the completion election.
+      const auto done = ctx.sync_op(icb.sched_done, sync::Test::kNone, 0,
+                                    sync::Op::kIncrement);
+      const bool complete =
+          done.fetched + 1 == static_cast<i64>(icb.live_shards);
+      audit::on_shard_exhaust(ctx, &icb, g, complete);
+      d.last_scheduled = complete;
+    }
+    return d;
+  }
+  return {};  // every shard drained: instance fully scheduled
+}
+
+/// Grab the next block of iterations from `icb` according to `s` — the flat
+/// paper path when the instance's index is unsharded, the distributed path
+/// otherwise.  Under the vtime topology model a flat index is homed in
+/// group 0, so with topo_groups > 1 every dispatch from another group pays
+/// the remote-hop premium — the saturation that E17 measures and sharding
+/// removes.  With the default platform (topo_groups == 1) the flat path is
+/// bit-identical to the pre-sharding dispatcher.
+template <exec::ExecutionContext C>
+Dispatch dispatch_iterations(C& ctx, Icb<C>& icb, const Strategy& s) {
+  if (icb.num_shards > 1) return dispatch_sharded(ctx, icb, s);
+  if constexpr (C::kIsSimulated) {
+    const auto& cm = ctx.costs();
+    if (cm.topo_groups > 1 &&
+        shard::topo_group_of(ctx.proc(), ctx.num_procs(), cm.topo_groups) !=
+            0) {
+      ctx.charge(cm.cross_group_sync_extra);
+    }
+  }
+  return dispatch_range(ctx, icb, icb.index, icb.aux, 1, icb.bound,
+                        ctx.num_procs(), s);
 }
 
 /// Adaptive feedback: fold one completed chunk's measured duration into the

@@ -2,9 +2,12 @@
 // multi-iteration dispatches and Doacross synchronization.
 //
 // Per dispatch cycle a processor:
-//   start:  grabs iterations with {index <= b ; Fetch&Add(k)} (strategy.hpp);
+//   start:  grabs iterations with {index <= b ; Fetch&Add(k)} (strategy.hpp;
+//           with a sharded index the grab comes from the worker's home shard
+//           or a stolen sibling, docs/sharding.md);
 //           on failure detaches ({pcount; Decrement}) and SEARCHes;
-//           if it grabbed the final iteration it DELETEs the ICB from its
+//           if it grabbed the final iteration (sharded: won the drained-
+//           shard completion election) it DELETEs the ICB from its
 //           list — the ICB stays alive for the processors still executing
 //           scheduled iterations (their local `ip` keeps it reachable);
 //   body:   executes the iterations (Doacross: wait on the post flag of

@@ -41,6 +41,12 @@ struct Counters {
   u64 adapt_feedbacks = 0;     // per-chunk timing samples folded into an
                                // instance's body-time EWMA
   u64 adapt_retunes = 0;       // feedbacks that moved the tuned chunk size
+  u64 shard_grants = 0;        // successful grabs from a sharded index
+                               // (subset of dispatches; 0 on the flat path)
+  u64 shard_steals = 0;        // shard grants taken from a non-home shard
+                               // after the worker's home drained
+  u64 cross_shard_ops = 0;     // sibling-shard probes (each steal attempt,
+                               // successful or not)
 
   /// Visit (name, member pointer) of every counter — single source of truth
   /// for merge(), reports and exporters.
@@ -68,6 +74,9 @@ struct Counters {
     fn("adapt_seeds", &Counters::adapt_seeds);
     fn("adapt_feedbacks", &Counters::adapt_feedbacks);
     fn("adapt_retunes", &Counters::adapt_retunes);
+    fn("shard_grants", &Counters::shard_grants);
+    fn("shard_steals", &Counters::shard_steals);
+    fn("cross_shard_ops", &Counters::cross_shard_ops);
   }
 
   void merge(const Counters& o) {

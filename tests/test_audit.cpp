@@ -213,6 +213,126 @@ TEST(Auditor, QuiescenceCatchesLeakedStateAndBalances) {
   EXPECT_TRUE(has_rule(a, "pcount-not-drained"));
 }
 
+// ------------------------------------------- sharded-index conservation --
+
+/// Drive one fake sharded ICB (bound 4, G=2: shard 0 owns [1,2], shard 1
+/// owns [3,4]) through the clean sharded lifecycle.
+void clean_sharded_cycle(Auditor& a, const void* icb) {
+  ASSERT_EQ(a.on_acquire(0, icb), 0u);
+  ASSERT_EQ(a.on_publish(0, icb, 3, 0xabcdu, 4, 1, /*shards=*/2), 0u);
+  ASSERT_EQ(a.on_attach(1, icb), 0u);
+  ASSERT_EQ(a.on_shard_grant(1, icb, 0, 1, 2, /*stolen=*/false), 0u);
+  ASSERT_EQ(a.on_shard_exhaust(1, icb, 0, /*elected=*/false), 0u);
+  ASSERT_EQ(a.on_shard_grant(1, icb, 1, 3, 2, /*stolen=*/true), 0u);
+  ASSERT_EQ(a.on_shard_exhaust(1, icb, 1, /*elected=*/true), 0u);
+  ASSERT_EQ(a.on_unlink(1, icb), 0u);
+  ASSERT_EQ(a.on_complete(1, icb, 0, 4), 0u);
+  ASSERT_EQ(a.on_detach(1, icb, 1), 0u);
+}
+
+TEST(AuditShard, CleanShardedLifecycleRecordsNoViolations) {
+  Auditor a;
+  int icb = 0;
+  clean_sharded_cycle(a, &icb);
+  EXPECT_EQ(a.on_release(1, &icb), 0u);  // shard-sum checks run here
+  EXPECT_EQ(a.violation_count(), 0u);
+}
+
+TEST(AuditShard, ForgedDoubleCompletionAcrossShardsIsViolation) {
+  // Two shards both claim to have won the completion election: the second
+  // elected exhaust trips shard-completion-twice immediately, and the
+  // release-time tally trips shard-election-count.
+  Auditor a;
+  int icb = 0;
+  a.on_acquire(0, &icb);
+  a.on_publish(0, &icb, 3, 0, 4, 1, /*shards=*/2);
+  a.on_shard_grant(1, &icb, 0, 1, 2, false);
+  EXPECT_EQ(a.on_shard_exhaust(1, &icb, 0, /*elected=*/true), 0u);
+  a.on_shard_grant(2, &icb, 1, 3, 2, true);
+  EXPECT_GE(a.on_shard_exhaust(2, &icb, 1, /*elected=*/true), 1u);
+  EXPECT_TRUE(has_rule(a, "shard-completion-twice"));
+  a.on_unlink(1, &icb);
+  a.on_complete(1, &icb, 0, 4);
+  EXPECT_GE(a.on_release(1, &icb), 1u);
+  EXPECT_TRUE(has_rule(a, "shard-election-count"));
+}
+
+TEST(AuditShard, GrantAfterStealDrainIsViolation) {
+  // Shard 0 (size 2) is drained, then a forged grant pulls one more
+  // iteration from it — the per-shard grant sum overruns the shard size.
+  Auditor a;
+  int icb = 0;
+  a.on_acquire(0, &icb);
+  a.on_publish(0, &icb, 3, 0, 4, 1, /*shards=*/2);
+  EXPECT_EQ(a.on_shard_grant(1, &icb, 0, 1, 2, false), 0u);
+  a.on_shard_exhaust(1, &icb, 0, false);
+  EXPECT_GE(a.on_shard_grant(2, &icb, 0, 1, 1, /*stolen=*/true), 1u);
+  EXPECT_TRUE(has_rule(a, "shard-grant-overrun"));
+  EXPECT_GE(a.on_shard_exhaust(2, &icb, 0, false), 1u);
+  EXPECT_TRUE(has_rule(a, "shard-drained-twice"));
+}
+
+TEST(AuditShard, GrantOutsideShardGeometryIsViolation) {
+  // The auditor recomputes each shard's range from (bound, G) and never
+  // trusts the runtime: a grant whose range belongs to shard 0 but is
+  // attributed to shard 1 is out of that shard's geometry, and a grant
+  // from a shard id past G doesn't even resolve to a range.
+  Auditor a;
+  int icb = 0;
+  a.on_acquire(0, &icb);
+  a.on_publish(0, &icb, 3, 0, 4, 1, /*shards=*/2);
+  EXPECT_GE(a.on_shard_grant(1, &icb, 1, 1, 2, false), 1u);
+  EXPECT_TRUE(has_rule(a, "shard-grant-out-of-range"));
+  EXPECT_GE(a.on_shard_grant(1, &icb, 5, 1, 1, false), 1u);
+  EXPECT_TRUE(has_rule(a, "shard-id-out-of-range"));
+}
+
+TEST(AuditShard, ReleaseCatchesUndrainedShardAndBrokenConservation) {
+  // Shard 1's iterations are never granted: at release the per-shard
+  // grant sums no longer add to the bound and shard 1 was never drained —
+  // the conservation law fires even though every delivered hook looked
+  // locally plausible.
+  Auditor a;
+  int icb = 0;
+  a.on_acquire(0, &icb);
+  a.on_publish(0, &icb, 3, 0, 4, 1, /*shards=*/2);
+  a.on_shard_grant(1, &icb, 0, 1, 2, false);
+  a.on_shard_exhaust(1, &icb, 0, /*elected=*/false);
+  a.on_unlink(1, &icb);
+  a.on_complete(1, &icb, 0, 4);
+  EXPECT_GE(a.on_release(1, &icb), 3u);
+  EXPECT_TRUE(has_rule(a, "shard-conservation"));
+  EXPECT_TRUE(has_rule(a, "shard-not-drained"));
+  EXPECT_TRUE(has_rule(a, "shard-election-count"));
+}
+
+TEST(AuditShard, CleanShardedSweepsAreSilentOnBothEngines) {
+  // End to end: audited sharded runs across shard counts on both engines
+  // must deliver shard hooks (audit_events > 0) and zero violations.
+  for (const u32 g : {2u, 4u, 8u}) {
+    SchedOptions opts;
+    opts.index_shards = g;
+    opts.strategy = runtime::Strategy::gss();
+    Auditor vsink;
+    opts.audit_sink = &vsink;
+    const RunResult rv =
+        runtime::run_vtime(workloads::nested_pair(3, 40, 25), 6, opts);
+    EXPECT_EQ(rv.audit_violations, 0u) << "vtime G=" << g << "\n"
+                                       << rv.audit_report;
+    EXPECT_GT(rv.counters.audit_events, 0u);
+    EXPECT_GT(rv.counters.shard_grants, 0u);
+
+    Auditor tsink;
+    opts.audit_sink = &tsink;
+    const RunResult rt =
+        runtime::run_threads(workloads::nested_pair(3, 40, 25), 4, opts);
+    EXPECT_EQ(rt.audit_violations, 0u) << "threads G=" << g << "\n"
+                                       << rt.audit_report;
+    EXPECT_GT(rt.counters.audit_events, 0u);
+    EXPECT_GT(rt.counters.shard_grants, 0u);
+  }
+}
+
 TEST(Auditor, ViolationStorageCapsButCountKeepsRunning) {
   Auditor a;
   int icb = 0;

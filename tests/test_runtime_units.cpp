@@ -660,6 +660,228 @@ TEST(Strategy, Names) {
   EXPECT_STREQ(Strategy::adaptive().name(), "adaptive");
 }
 
+// ------------------------------------------------------------- shard math --
+
+TEST(ShardMath, PartitionTilesTheBoundExactly) {
+  // For every (b, G): shards are contiguous left to right, sizes differ by
+  // at most one (balanced split of b = G*(b/G) + b%G), they sum to b, and
+  // exactly min(b, G) shards are non-empty.
+  for (const i64 b : {0, 1, 2, 3, 7, 10, 64, 100, 333}) {
+    for (const u32 g_count : {1u, 2u, 3u, 4u, 7u, 8u, 64u}) {
+      i64 next = 1;
+      i64 total = 0;
+      u32 nonempty = 0;
+      i64 min_size = b + 1;
+      i64 max_size = -1;
+      for (u32 g = 0; g < g_count; ++g) {
+        const i64 lo = shard::shard_lo(b, g_count, g);
+        const i64 size = shard::shard_size(b, g_count, g);
+        const i64 hi = shard::shard_hi(b, g_count, g);
+        EXPECT_EQ(lo, next) << "b=" << b << " G=" << g_count << " g=" << g;
+        EXPECT_EQ(hi, lo + size - 1);
+        next = hi + 1;
+        total += size;
+        if (size > 0) ++nonempty;
+        min_size = std::min(min_size, size);
+        max_size = std::max(max_size, size);
+      }
+      EXPECT_EQ(total, b) << "b=" << b << " G=" << g_count;
+      EXPECT_LE(max_size - min_size, 1) << "b=" << b << " G=" << g_count;
+      EXPECT_EQ(nonempty, shard::live_shards(b, g_count))
+          << "b=" << b << " G=" << g_count;
+    }
+  }
+}
+
+TEST(ShardMath, RaggedBoundExactSplit) {
+  // b=10, G=4: 10 = 3+3+2+2, remainder shards first.
+  const i64 b = 10;
+  EXPECT_EQ(shard::shard_lo(b, 4, 0), 1);
+  EXPECT_EQ(shard::shard_hi(b, 4, 0), 3);
+  EXPECT_EQ(shard::shard_lo(b, 4, 1), 4);
+  EXPECT_EQ(shard::shard_hi(b, 4, 1), 6);
+  EXPECT_EQ(shard::shard_lo(b, 4, 2), 7);
+  EXPECT_EQ(shard::shard_hi(b, 4, 2), 8);
+  EXPECT_EQ(shard::shard_lo(b, 4, 3), 9);
+  EXPECT_EQ(shard::shard_hi(b, 4, 3), 10);
+  EXPECT_EQ(shard::live_shards(b, 4), 4u);
+}
+
+TEST(ShardMath, BoundSmallerThanShardCountDegenerates) {
+  // b=3, G=8: shards 0..2 own one iteration each; 3..7 are empty (lo > hi)
+  // and must never be granted from or counted in the completion election.
+  const i64 b = 3;
+  for (u32 g = 0; g < 3; ++g) {
+    EXPECT_EQ(shard::shard_lo(b, 8, g), static_cast<i64>(g) + 1);
+    EXPECT_EQ(shard::shard_size(b, 8, g), 1);
+  }
+  for (u32 g = 3; g < 8; ++g) {
+    EXPECT_EQ(shard::shard_size(b, 8, g), 0);
+    EXPECT_GT(shard::shard_lo(b, 8, g), shard::shard_hi(b, 8, g));
+  }
+  EXPECT_EQ(shard::live_shards(b, 8), 3u);
+}
+
+TEST(ShardMath, HomeShardBlockMapping) {
+  // proc*G/P: proc 0 always homes shard 0 (the Doacross liveness anchor),
+  // the mapping is monotone in proc, stays in range, and when P >= G every
+  // shard is some worker's home.
+  for (const u32 procs : {1u, 2u, 4u, 8u, 12u}) {
+    for (const u32 g_count : {1u, 2u, 4u, 8u}) {
+      EXPECT_EQ(shard::home_shard_of(0, procs, g_count), 0u);
+      std::set<u32> homes;
+      u32 prev = 0;
+      for (u32 p = 0; p < procs; ++p) {
+        const u32 h = shard::home_shard_of(p, procs, g_count);
+        EXPECT_LT(h, g_count);
+        EXPECT_GE(h, prev) << "home mapping must be monotone";
+        prev = h;
+        homes.insert(h);
+      }
+      if (procs >= g_count) {
+        EXPECT_EQ(homes.size(), g_count) << "P=" << procs << " G=" << g_count;
+      }
+    }
+  }
+}
+
+TEST(Shard, IcbInitSetsCountersToShardRangesAndRecycles) {
+  RContext ctx(0, 4);
+  Icb<RContext> icb;
+  icb.init(0, 10, IndexVec{}, false, kMaxDepth, /*index_shards=*/4);
+  EXPECT_EQ(icb.num_shards, 4u);
+  EXPECT_EQ(icb.live_shards, 4u);
+  EXPECT_EQ(icb.sched_done.load(), 0);
+  for (u32 g = 0; g < 4; ++g) {
+    EXPECT_EQ(icb.shards[g].lo, shard::shard_lo(10, 4, g));
+    EXPECT_EQ(icb.shards[g].hi, shard::shard_hi(10, 4, g));
+    EXPECT_EQ(icb.shards[g].index.load(), icb.shards[g].lo);
+    EXPECT_EQ(icb.shards[g].aux.load(), 0);
+  }
+  // Recycle into a wider, degenerate split: capacity grows, empty shards
+  // (b < G) come out with lo > hi, and the live count shrinks to b.
+  icb.init(1, 3, IndexVec{}, false, kMaxDepth, /*index_shards=*/8);
+  EXPECT_EQ(icb.num_shards, 8u);
+  EXPECT_EQ(icb.live_shards, 3u);
+  for (u32 g = 3; g < 8; ++g) {
+    EXPECT_GT(icb.shards[g].lo, icb.shards[g].hi);
+  }
+  // And back down to the flat layout: sharded state must not leak.
+  icb.init(2, 5, IndexVec{}, false);
+  EXPECT_EQ(icb.num_shards, 1u);
+  EXPECT_EQ(icb.index.load(), 1);
+}
+
+/// Drain a sharded ICB single-threaded (as proc 0 of `procs`), returning the
+/// grab sizes per shard in dispatch order and checking the sharded protocol
+/// invariants: exactly-once coverage of [1, b], grabs stay inside the
+/// granting shard's range, home-first probe order (shard g is touched only
+/// after shards home..g-1 drained), and the completion election fires
+/// exactly once, on the final grab.
+std::vector<std::vector<i64>> sharded_drain(i64 b, u32 g_count,
+                                            const Strategy& s, u32 procs) {
+  RContext ctx(0, procs);
+  Icb<RContext> icb;
+  icb.init(0, b, IndexVec{}, false, kMaxDepth, g_count);
+  std::vector<std::vector<i64>> per_shard(g_count);
+  std::set<i64> covered;
+  bool saw_last = false;
+  for (;;) {
+    const Dispatch d = dispatch_iterations(ctx, icb, s);
+    if (d.count == 0) break;
+    EXPECT_FALSE(saw_last) << "grab after the completion election";
+    // Attribute the grab to the shard whose range contains it; the grab
+    // must not straddle a shard boundary.
+    u32 g = g_count;
+    for (u32 cand = 0; cand < g_count; ++cand) {
+      if (d.first >= shard::shard_lo(b, g_count, cand) &&
+          d.first <= shard::shard_hi(b, g_count, cand)) {
+        g = cand;
+        break;
+      }
+    }
+    EXPECT_LT(g, g_count) << "grab outside every shard range";
+    if (g >= g_count) return per_shard;
+    EXPECT_LE(d.first + d.count - 1, shard::shard_hi(b, g_count, g))
+        << "grab straddles a shard boundary";
+    per_shard[g].push_back(d.count);
+    for (i64 j = d.first; j < d.first + d.count; ++j) {
+      EXPECT_TRUE(covered.insert(j).second)
+          << "iteration " << j << " dispatched twice";
+    }
+    saw_last = d.last_scheduled;
+  }
+  EXPECT_TRUE(saw_last || b == 0) << "completion election never fired";
+  EXPECT_EQ(static_cast<i64>(covered.size()), b) << "incomplete coverage";
+  return per_shard;
+}
+
+TEST(Shard, PerShardChunkSequencesMatchClosedForm) {
+  // Each shard runs the strategy's chunk rule against its own sub-range with
+  // the shard's worker share as P — so a shard of size n on P/G workers
+  // must produce exactly closed_form(n, s, shard_procs(P, G)), grab for
+  // grab.  (kAdaptive is excluded: its chunk is deliberately tuned
+  // instance-globally, not per shard.)
+  const std::vector<Strategy> strategies = {
+      Strategy::chunked(4),
+      Strategy::gss(),
+      Strategy::factoring2(),
+      Strategy::trapezoid_tuned(),
+      Strategy::trapezoid(16, 2),
+  };
+  const u32 procs = 8;
+  for (const i64 b : {7, 64, 100, 333}) {
+    for (const u32 g_count : {2u, 4u}) {
+      const u32 sprocs = shard::shard_procs(procs, g_count);
+      for (const auto& s : strategies) {
+        const auto got = sharded_drain(b, g_count, s, procs);
+        for (u32 g = 0; g < g_count; ++g) {
+          const i64 size = shard::shard_size(b, g_count, g);
+          const auto want = closed_form(size, s, sprocs);
+          EXPECT_EQ(got[g], want) << s.name() << " b=" << b
+                                  << " G=" << g_count << " shard=" << g;
+        }
+      }
+    }
+  }
+}
+
+TEST(Shard, SingleShardMatchesFlatSequences) {
+  // G=1 must be indistinguishable from the flat dispatcher: same grabs, in
+  // the same order, for every strategy the flat conformance sweep covers.
+  for (const auto& s : {Strategy::gss(), Strategy::factoring2(),
+                        Strategy::trapezoid_tuned(), Strategy::chunked(5)}) {
+    const auto flat = drain(100, s, 4);
+    const auto sharded = sharded_drain(100, 1, s, 4);
+    EXPECT_EQ(sharded[0], flat) << s.name();
+  }
+}
+
+TEST(Shard, StealOrderIsHomeFirstThenRotation) {
+  // A single worker of an 8-proc team homes shard 0 and, as each shard
+  // drains, rotates upward: shard g's first grab comes only after every
+  // grab of shards 0..g-1.  With chunk(3), b=10, G=4 the expected global
+  // grab order is [1,3],[4..6] from shard 0... i.e. firsts ascend.
+  RContext ctx(0, 8);
+  Icb<RContext> icb;
+  icb.init(0, 10, IndexVec{}, false, kMaxDepth, 4);
+  const Strategy s = Strategy::chunked(3);
+  i64 prev_first = 0;
+  u32 grabs = 0;
+  bool last = false;
+  for (;;) {
+    const Dispatch d = dispatch_iterations(ctx, icb, s);
+    if (d.count == 0) break;
+    EXPECT_GT(d.first, prev_first) << "single-thread probe order regressed";
+    prev_first = d.first;
+    ++grabs;
+    last = d.last_scheduled;
+  }
+  EXPECT_TRUE(last);
+  EXPECT_EQ(grabs, 4u);  // shards of size 3,3,2,2: one chunk(3) grab each
+  EXPECT_EQ(icb.sched_done.load(), 4);  // every live shard drained once
+}
+
 // ------------------------------------------------------------ render_gantt --
 
 constexpr char kGanttHeader[] =

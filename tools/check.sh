@@ -23,6 +23,13 @@
 #                                  # TSan (the threads feedback path), then
 #                                  # audited under ASan, then the E16
 #                                  # acceptance thresholds (bench_adaptive)
+#   tools/check.sh --shard         # sharded-dispatch suite (ISSUE 8): the
+#                                  # shard-math oracles, the sharded-vs-flat
+#                                  # differential matrix, the shard auditor
+#                                  # rules and the sharded fault tests under
+#                                  # TSan (threads-engine shard counters),
+#                                  # then audited under ASan, then the E17
+#                                  # acceptance thresholds (bench_shard_scale)
 #   tools/check.sh --serve         # resident-service suite: test_serve +
 #                                  # the full serve-stress run (16
 #                                  # submitters, 224 audited programs, P=8,
@@ -46,6 +53,7 @@ AUDIT=0
 FAULTS=0
 SERVE=0
 ADAPTIVE=0
+SHARD=0
 LABEL=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -55,9 +63,10 @@ while [[ $# -gt 0 ]]; do
     --faults) FAULTS=1; shift ;;
     --serve) SERVE=1; shift ;;
     --adaptive) ADAPTIVE=1; shift ;;
+    --shard) SHARD=1; shift ;;
     --label) LABEL="${2:?--label needs an argument}"; shift 2 ;;
     *) echo "usage: tools/check.sh [--fast] [--explore] [--audit]" \
-            "[--faults] [--serve] [--adaptive] [--label TIER]" >&2
+            "[--faults] [--serve] [--adaptive] [--shard] [--label TIER]" >&2
        exit 2 ;;
   esac
 done
@@ -71,6 +80,30 @@ FAULT_TESTS='FaultBody|FaultInject|FaultDeadline|FaultDrain|FaultReplay|FaultHoo
 # (Strategy*), the tuner suite (Adaptive*/PortfolioSweep), the completion-
 # time model edge cases, and the stall-under-adaptation fault test.
 ADAPTIVE_TESTS='Strategy|Adaptive|PortfolioSweep|CompletionModel|FaultAdaptive'
+
+# The sharded-dispatch filter: every suite name carries "Shard" — the
+# shard-math/ICB units (ShardMath/Shard.*), the differential matrix and
+# replay/counter/topology suites (Shard* in test_shard), the auditor rules
+# (AuditShard) and the sharded cancellation/deadline tests (FaultShard).
+SHARD_TESTS='Shard'
+
+if [[ "$SHARD" == 1 ]]; then
+  echo "== shard: TSan build, sharded-dispatch suite =="
+  cmake -B build-tsan -S . -DSELFSCHED_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS" --target test_shard \
+      test_runtime_units test_audit test_fault
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS" -R "$SHARD_TESTS")
+  echo "== shard: ASan build, audited sharded-dispatch suite =="
+  cmake -B build-asan -S . -DSELFSCHED_SANITIZE=address
+  cmake --build build-asan -j "$JOBS" --target test_shard \
+      test_runtime_units test_audit test_fault bench_shard_scale
+  (cd build-asan && SELFSCHED_AUDIT=1 ctest --output-on-failure -j "$JOBS" \
+      -R "$SHARD_TESTS")
+  echo "== shard: E17 acceptance thresholds =="
+  ./build-asan/bench/bench_shard_scale > /dev/null
+  echo "== OK (shard) =="
+  exit 0
+fi
 
 if [[ "$ADAPTIVE" == 1 ]]; then
   echo "== adaptive: TSan build, strategy-conformance suite =="
