@@ -379,6 +379,37 @@ u32 Auditor::on_bar_count(ProcId w, u32 loop_uid, bool created, i64 count,
   return v;
 }
 
+u32 Auditor::on_bar_prepare(ProcId w, u32 loop_uid, bool created) {
+  std::lock_guard lk(mu_);
+  ++events_;
+  if (created) ++live_bars_;
+  (void)w;
+  (void)loop_uid;
+  return 0;
+}
+
+u32 Auditor::on_enter_batch(ProcId w, u64 batch_size, i64 outstanding_delta) {
+  std::lock_guard lk(mu_);
+  ++events_;
+  u32 v = 0;
+  if (batch_size == 0) {
+    v += violate(nullptr, w, "batch-empty",
+                 "batched ENTER flushed an empty activation set");
+  }
+  if (outstanding_delta != static_cast<i64>(batch_size)) {
+    v += violate(
+        nullptr, w, "batch-increment-mismatch",
+        fmt("coalesced outstanding increment of %lld for a batch of %llu",
+            static_cast<long long>(outstanding_delta),
+            static_cast<unsigned long long>(batch_size)));
+  }
+  if (done_seen_) {
+    v += violate(nullptr, w, "batch-after-termination",
+                 "batched ENTER flushed after the all-done flag");
+  }
+  return v;
+}
+
 u32 Auditor::on_list_violation(ProcId w, u32 list, const std::string& detail) {
   std::lock_guard lk(mu_);
   ++events_;

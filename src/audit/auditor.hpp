@@ -114,6 +114,16 @@ class Auditor {
   /// after the increment.
   u32 on_bar_count(ProcId w, u32 loop_uid, bool created, i64 count, i64 bound,
                    bool tripped);
+  /// Batched-ENTER BAR_COUNT coalescing: the activator find-or-created the
+  /// sibling set's counter (count untouched) before any arrival.
+  u32 on_bar_prepare(ProcId w, u32 loop_uid, bool created);
+  /// One batched-ENTER flush: `batch_size` sibling ICBs about to publish,
+  /// their per-instance `outstanding` increments coalesced into a single
+  /// Increment-by-`outstanding_delta` sync op.  The conservation balance
+  /// still counts per-publish (each on_publish adds one), so the only new
+  /// law is delta == batch_size — a drifting coalesced increment would
+  /// otherwise corrupt `outstanding` silently.
+  u32 on_enter_batch(ProcId w, u64 batch_size, i64 outstanding_delta);
   /// Structural damage found by audit::check_list (hooks.hpp).
   u32 on_list_violation(ProcId w, u32 list, const std::string& detail);
   /// The all-done flag was stored; later activations are protocol breaches.

@@ -215,6 +215,28 @@ inline void on_bar_count(C& ctx, u32 loop_uid, bool created, i64 count,
   (void)tripped;
 }
 
+/// One batched-ENTER flush: `batch_size` sibling ICBs about to be
+/// published, whose per-instance `outstanding` increments were coalesced
+/// into a single Increment-by-`outstanding_delta` sync op.
+template <typename C>
+inline void on_enter_batch(C& ctx, u64 batch_size, i64 outstanding_delta) {
+  SELFSCHED_AUDIT_HOOK_BODY(
+      on_enter_batch(ctx.proc(), batch_size, outstanding_delta))
+  (void)ctx;
+  (void)batch_size;
+  (void)outstanding_delta;
+}
+
+/// Batched-ENTER BAR_COUNT coalescing: one activator pre-created (or
+/// found) the sibling set's barrier counter before any arrival.
+template <typename C>
+inline void on_bar_prepare(C& ctx, u32 loop_uid, bool created) {
+  SELFSCHED_AUDIT_HOOK_BODY(on_bar_prepare(ctx.proc(), loop_uid, created))
+  (void)ctx;
+  (void)loop_uid;
+  (void)created;
+}
+
 template <typename C>
 inline void on_terminate(C& ctx) {
   SELFSCHED_AUDIT_HOOK_BODY(on_terminate(ctx.proc()))

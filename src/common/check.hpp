@@ -44,6 +44,8 @@ namespace selfsched::detail {
 
 #ifdef NDEBUG
 #define SS_DCHECK(expr) ((void)0)
+#define SS_DCHECK_MSG(expr, msg) ((void)0)
 #else
 #define SS_DCHECK(expr) SS_CHECK(expr)
+#define SS_DCHECK_MSG(expr, msg) SS_CHECK_MSG(expr, msg)
 #endif

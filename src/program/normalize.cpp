@@ -37,7 +37,7 @@ class Validator {
         SS_CHECK_MSG(level + 1 < kMaxDepth,
                      "loop nest deeper than kMaxDepth-1");
         SS_CHECK_MSG(!n.children.empty(), "container loop with empty body");
-        check_bound(n.bound);
+        check_bound(n);
         visit_seq(n.children, level + 1);
         break;
       case NodeKind::kIf:
@@ -50,16 +50,18 @@ class Validator {
       case NodeKind::kInnermost:
         SS_CHECK_MSG(n.children.empty() && n.else_children.empty(),
                      "innermost loop must be a leaf");
-        check_bound(n.bound);
+        // Auto-name before the bound check so its diagnostic can name the
+        // offending loop.
+        if (n.name.empty()) {
+          n.name = "L" + std::to_string(info_.num_leaves + 1);
+        }
+        check_bound(n);
         if (n.doacross) {
           SS_CHECK_MSG(n.doacross->distance >= 1,
                        "Doacross distance must be >= 1");
           for (const i64 d : n.doacross->extra_distances) {
             SS_CHECK_MSG(d >= 1, "Doacross extra distance must be >= 1");
           }
-        }
-        if (n.name.empty()) {
-          n.name = "L" + std::to_string(info_.num_leaves + 1);
         }
         ++info_.num_leaves;
         info_.max_depth = std::max(info_.max_depth, level);
@@ -98,9 +100,18 @@ class Validator {
     n.section_branches.clear();
   }
 
-  static void check_bound(const Bound& b) {
-    if (b.is_constant()) {
-      SS_CHECK_MSG(b.constant >= 0, "constant loop bound must be >= 0");
+  /// Constant bounds are fully known here, so a negative one is a program
+  /// bug caught at compile time — with the loop's name, so a deep nest's
+  /// diagnostic points at the offending loop instead of a bare value
+  /// (container loops are usually unnamed; innermost loops are auto-named
+  /// above before this check runs).
+  static void check_bound(const Node& n) {
+    if (n.bound.is_constant()) {
+      SS_CHECK_MSG(n.bound.constant >= 0,
+                   "loop '" +
+                       (n.name.empty() ? std::string("<anonymous>") : n.name) +
+                       "': constant loop bound must be >= 0 (got " +
+                       std::to_string(n.bound.constant) + ")");
     }
   }
 

@@ -100,9 +100,51 @@ class BarCountTable {
     return tripped;
   }
 
-  /// Number of live counters (test/diagnostic; takes no locks — call only
-  /// in quiescent states).
+  /// Find-or-create the counter for (loop_uid, prefix) without arriving at
+  /// it — the batched-ENTER coalescing point: one activator pre-creates the
+  /// node for the whole sibling set under one bucket-lock acquisition, so
+  /// the M later arrivals (and any vacuous completions racing the batch
+  /// collection) always find it instead of contending on first-create.
+  /// Idempotent; count is untouched.
+  void prepare(C& ctx, u32 loop_uid, std::size_t prefix_len,
+               const IndexVec& ivec, [[maybe_unused]] i64 bound) {
+    SS_DCHECK(bound >= 1);
+    const u64 h =
+        hash_prefix(ivec, prefix_len) ^ (u64{loop_uid} * 0x9e3779b97f4a7c15ULL);
+    Bucket& bucket = buckets_[h & mask_];
+    ctx_lock(ctx, bucket.lock);
+    charge_cycles(ctx, kProbeCost);
+    Node* n = bucket.head;
+    while (n != nullptr &&
+           !(n->loop_uid == loop_uid && n->prefix_len == prefix_len &&
+             prefix_equal(n->prefix, ivec, prefix_len))) {
+      charge_cycles(ctx, kProbeCost);
+      n = n->next;
+    }
+    const bool created = (n == nullptr);
+    if (created) {
+      n = alloc_node(ctx);
+      n->loop_uid = loop_uid;
+      n->prefix_len = prefix_len;
+      copy_prefix(n->prefix, ivec, prefix_len);
+      n->count.reset(0);
+      n->next = bucket.head;
+      bucket.head = n;
+    }
+    audit::on_bar_prepare(ctx, loop_uid, created);
+    ctx_unlock(ctx, bucket.lock);
+  }
+
+  /// Quiescence token for the host-side accessors below: granted by
+  /// default (unit tests drive the table single-threaded), revoked by
+  /// ProgramRun while workers are live, re-granted once they have joined.
+  void set_host_quiescent(bool q) { host_quiescent_ = q; }
+
+  /// Number of live counters (test/diagnostic; takes no locks — quiescent
+  /// states only, enforced by the quiescence token).
   u64 live_counters() const {
+    SS_DCHECK_MSG(host_quiescent_,
+                  "BarCountTable::live_counters outside quiescence");
     u64 live = 0;
     for (u64 b = 0; b <= mask_; ++b) {
       for (Node* n = buckets_[b].head; n != nullptr; n = n->next) ++live;
@@ -111,9 +153,11 @@ class BarCountTable {
   }
 
   /// Host-side reclamation of every live counter (cancelled-run drain; see
-  /// drain_cancelled in high_level.hpp).  Caller must guarantee quiescence.
-  /// Returns the number of nodes reclaimed.
+  /// drain_cancelled in high_level.hpp).  Caller must hold the quiescence
+  /// token.  Returns the number of nodes reclaimed.
   u64 host_clear() {
+    SS_DCHECK_MSG(host_quiescent_,
+                  "BarCountTable::host_clear outside quiescence");
     u64 reclaimed = 0;
     for (u64 b = 0; b <= mask_; ++b) {
       Node* n = buckets_[b].head;
@@ -191,6 +235,7 @@ class BarCountTable {
   typename C::Sync node_lock_;
   Node* free_nodes_ = nullptr;
   std::vector<std::unique_ptr<Node>> node_arena_;
+  bool host_quiescent_ = true;
 };
 
 }  // namespace selfsched::runtime

@@ -137,6 +137,10 @@ struct ProgramRun {
         rec(procs, o.trace_events, o.trace_ring_capacity),
         auditing(make_audit(o)),
         stats(procs) {
+    // Revoke the host-quiescence token: from here until finish(), workers
+    // may be live in `st`, so the host-side pool/bars accessors are off
+    // limits (SS_DCHECK-enforced).
+    st.set_host_quiescent(false);
     if constexpr (C::kIsSimulated) {
       st.cancel.vdeadline = o.deadline_vcycles;
     } else if (o.deadline_ms > 0) {
@@ -162,6 +166,7 @@ struct ProgramRun {
   /// (engine_ops, schedule_decisions, timeline, ...) may be pre-filled in
   /// `r` by the caller; the audit report includes them.
   RunResult finish(u32 procs, Cycles makespan, RunResult r = {}) {
+    st.set_host_quiescent(true);  // every worker has left st (see above)
     r.procs = procs;
     r.makespan = makespan;
     r.workers = std::move(stats);

@@ -60,6 +60,41 @@ class TaskPool {
     ctx_unlock(ctx, l.lock);
   }
 
+  /// Batched APPEND (the ENTER batch path): link `n` sibling ICBs bound for
+  /// the same list under ONE lock acquisition and ONE SW reset/set pair,
+  /// instead of n of each.  Per-ICB publish hooks still fire inside the
+  /// lock region in link order, so the auditor sees the same lifecycle
+  /// sequence as n serial appends.
+  void append_batch(C& ctx, u32 i, Icb<C>* const* ips, std::size_t n) {
+    SS_DCHECK(i < m_);
+    SS_DCHECK(n > 0);
+    trace::bump(ctx, &trace::Counters::pool_appends, n);
+    List& l = lists_[i];
+    ctx_lock(ctx, l.lock);
+    sw_.reset(ctx, i);
+    for (std::size_t k = 0; k < n; ++k) {
+      Icb<C>* ip = ips[k];
+      if constexpr (C::kIsSimulated) {
+        ctx.charge(ctx.costs().batch_link);
+      }
+      Icb<C>* x = l.tail;
+      ip->left = x;
+      ip->right = nullptr;
+      l.tail = ip;
+      if (x != nullptr) {
+        x->right = ip;
+      } else {
+        l.head = ip;
+      }
+      audit::on_publish_icb(ctx, ip, i);
+    }
+    sw_.set(ctx, i);
+    audit::check_list(ctx, i, static_cast<const Icb<C>*>(l.head),
+                      static_cast<const Icb<C>*>(l.tail),
+                      [&] { return sw_.peek(i); });
+    ctx_unlock(ctx, l.lock);
+  }
+
   /// Algorithm 1: unlink `ip` from list i; SW(i) ends up 1 iff the list is
   /// still non-empty.  The ICB itself stays alive until its pcount drains.
   void delete_icb(C& ctx, u32 i, Icb<C>* ip) {
@@ -93,8 +128,15 @@ class TaskPool {
   typename C::Sync& list_lock(u32 i) { return lists_[i].lock; }
   Icb<C>*& list_head(u32 i) { return lists_[i].head; }
 
-  /// All lists empty (test/diagnostic; quiescent states only).
+  /// Quiescence token for the host-side accessors below: granted by
+  /// default (unit tests drive the pool single-threaded), revoked by
+  /// ProgramRun while workers are live, re-granted once they have joined.
+  void set_host_quiescent(bool q) { host_quiescent_ = q; }
+
+  /// All lists empty (test/diagnostic; quiescent states only — enforced by
+  /// the quiescence token).
   bool empty() const {
+    SS_DCHECK_MSG(host_quiescent_, "TaskPool::empty outside quiescence");
     for (u32 i = 0; i < m_; ++i) {
       if (lists_[i].head != nullptr) return false;
     }
@@ -102,10 +144,11 @@ class TaskPool {
   }
 
   /// Host-side unlink of every list (cancelled-run drain; see
-  /// drain_cancelled in high_level.hpp).  Caller must guarantee quiescence:
-  /// every worker has joined.  The ICBs themselves are reclaimed separately
-  /// through IcbPool::host_drain.
+  /// drain_cancelled in high_level.hpp).  Caller must hold the quiescence
+  /// token: every worker has joined.  The ICBs themselves are reclaimed
+  /// separately through IcbPool::host_drain.
   void host_clear() {
+    SS_DCHECK_MSG(host_quiescent_, "TaskPool::host_clear outside quiescence");
     for (u32 i = 0; i < m_; ++i) {
       lists_[i].head = nullptr;
       lists_[i].tail = nullptr;
@@ -122,6 +165,7 @@ class TaskPool {
   u32 m_;
   CtxControlWord<C> sw_;
   std::unique_ptr<List[]> lists_;
+  bool host_quiescent_ = true;
 };
 
 }  // namespace selfsched::runtime

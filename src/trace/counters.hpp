@@ -47,6 +47,10 @@ struct Counters {
                                // after the worker's home drained
   u64 cross_shard_ops = 0;     // sibling-shard probes (each steal attempt,
                                // successful or not)
+  u64 enter_batches = 0;       // batched-ENTER flushes (one per activation
+                               // set published through the batch path)
+  u64 icb_steals = 0;          // ICB-pool acquisitions satisfied from a
+                               // non-home arena shard
 
   /// Visit (name, member pointer) of every counter — single source of truth
   /// for merge(), reports and exporters.
@@ -77,6 +81,8 @@ struct Counters {
     fn("shard_grants", &Counters::shard_grants);
     fn("shard_steals", &Counters::shard_steals);
     fn("cross_shard_ops", &Counters::cross_shard_ops);
+    fn("enter_batches", &Counters::enter_batches);
+    fn("icb_steals", &Counters::icb_steals);
   }
 
   void merge(const Counters& o) {

@@ -333,6 +333,54 @@ TEST(AuditShard, CleanShardedSweepsAreSilentOnBothEngines) {
   }
 }
 
+// ------------------------------------------- batched-ENTER conservation --
+
+TEST(AuditBatch, CoalescedIncrementMustMatchTheBatchSize) {
+  // The one new law of the batched path: the single FetchAdd on
+  // `outstanding` must equal the number of instances the flush publishes.
+  // A forged under-increment (the classic lost-update shape) trips it.
+  Auditor a;
+  EXPECT_EQ(a.on_enter_batch(0, 4, 4), 0u);
+  EXPECT_GE(a.on_enter_batch(0, 4, 3), 1u);
+  EXPECT_TRUE(has_rule(a, "batch-increment-mismatch"));
+  EXPECT_GE(a.on_enter_batch(1, 2, 5), 1u);
+}
+
+TEST(AuditBatch, EmptyBatchFlushIsViolation) {
+  Auditor a;
+  EXPECT_GE(a.on_enter_batch(0, 0, 0), 1u);
+  EXPECT_TRUE(has_rule(a, "batch-empty"));
+}
+
+TEST(AuditBatch, BatchAfterTerminationIsViolation) {
+  Auditor a;
+  a.on_terminate(1);
+  EXPECT_GE(a.on_enter_batch(0, 3, 3), 1u);
+  EXPECT_TRUE(has_rule(a, "batch-after-termination"));
+}
+
+TEST(AuditBatch, PreparedBarCounterMustStillBeReclaimed) {
+  // prepare() pre-creates the node without arriving at it; the shadow
+  // balance treats that exactly like a first-arrival creation, so a
+  // prepared counter nobody ever trips is a leak at quiescence.
+  Auditor a;
+  EXPECT_EQ(a.on_bar_prepare(0, 7, /*created=*/true), 0u);
+  EXPECT_GE(a.on_quiescence(true, 0, 0), 1u);
+  EXPECT_TRUE(has_rule(a, "bar-count-leak"));
+}
+
+TEST(AuditBatch, PrepareThenArrivalsBalanceOut) {
+  // The clean batched shape: one prepare (created), then the arrivals find
+  // the node (created=false) and the trip reclaims it.
+  Auditor a;
+  EXPECT_EQ(a.on_bar_prepare(0, 7, /*created=*/true), 0u);
+  EXPECT_EQ(a.on_bar_prepare(0, 7, /*created=*/false), 0u);  // idempotent
+  EXPECT_EQ(a.on_bar_count(1, 7, false, 1, 2, false), 0u);
+  EXPECT_EQ(a.on_bar_count(2, 7, false, 2, 2, true), 0u);
+  EXPECT_EQ(a.on_quiescence(true, 0, 0), 0u);
+  EXPECT_EQ(a.violation_count(), 0u) << a.report();
+}
+
 TEST(Auditor, ViolationStorageCapsButCountKeepsRunning) {
   Auditor a;
   int icb = 0;

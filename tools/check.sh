@@ -30,6 +30,14 @@
 #                                  # TSan (threads-engine shard counters),
 #                                  # then audited under ASan, then the E17
 #                                  # acceptance thresholds (bench_shard_scale)
+#   tools/check.sh --hotpath       # instance-churn hot-path suite (ISSUE
+#                                  # 9): the batched-vs-unbatched
+#                                  # differential matrix, the sharded-arena
+#                                  # units and the batch auditor rules under
+#                                  # TSan (batch flushes racing searchers,
+#                                  # allocated() sampling), then audited
+#                                  # under ASan, then the E18 acceptance
+#                                  # thresholds (bench_enter_batch)
 #   tools/check.sh --serve         # resident-service suite: test_serve +
 #                                  # the full serve-stress run (16
 #                                  # submitters, 224 audited programs, P=8,
@@ -54,6 +62,7 @@ FAULTS=0
 SERVE=0
 ADAPTIVE=0
 SHARD=0
+HOTPATH=0
 LABEL=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -64,9 +73,11 @@ while [[ $# -gt 0 ]]; do
     --serve) SERVE=1; shift ;;
     --adaptive) ADAPTIVE=1; shift ;;
     --shard) SHARD=1; shift ;;
+    --hotpath) HOTPATH=1; shift ;;
     --label) LABEL="${2:?--label needs an argument}"; shift 2 ;;
     *) echo "usage: tools/check.sh [--fast] [--explore] [--audit]" \
-            "[--faults] [--serve] [--adaptive] [--shard] [--label TIER]" >&2
+            "[--faults] [--serve] [--adaptive] [--shard] [--hotpath]" \
+            "[--label TIER]" >&2
        exit 2 ;;
   esac
 done
@@ -86,6 +97,29 @@ ADAPTIVE_TESTS='Strategy|Adaptive|PortfolioSweep|CompletionModel|FaultAdaptive'
 # replay/counter/topology suites (Shard* in test_shard), the auditor rules
 # (AuditShard) and the sharded cancellation/deadline tests (FaultShard).
 SHARD_TESTS='Shard'
+
+# The hot-path filter: the batched-ENTER differential/replay/counter
+# suites and sharded-arena units (Hotpath*/EnterBatch* in test_hotpath)
+# plus the batch conservation rules in the auditor (AuditBatch).
+HOTPATH_TESTS='Hotpath|EnterBatch|AuditBatch'
+
+if [[ "$HOTPATH" == 1 ]]; then
+  echo "== hotpath: TSan build, instance-churn suite =="
+  cmake -B build-tsan -S . -DSELFSCHED_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS" --target test_hotpath \
+      test_runtime_units test_audit
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS" -R "$HOTPATH_TESTS")
+  echo "== hotpath: ASan build, audited instance-churn suite =="
+  cmake -B build-asan -S . -DSELFSCHED_SANITIZE=address
+  cmake --build build-asan -j "$JOBS" --target test_hotpath \
+      test_runtime_units test_audit bench_enter_batch
+  (cd build-asan && SELFSCHED_AUDIT=1 ctest --output-on-failure -j "$JOBS" \
+      -R "$HOTPATH_TESTS")
+  echo "== hotpath: E18 acceptance thresholds =="
+  ./build-asan/bench/bench_enter_batch > /dev/null
+  echo "== OK (hotpath) =="
+  exit 0
+fi
 
 if [[ "$SHARD" == 1 ]]; then
   echo "== shard: TSan build, sharded-dispatch suite =="
