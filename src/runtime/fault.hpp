@@ -198,6 +198,8 @@ struct FailureRecord {
     kInjectedFault,  // an armed FaultSpec fired (throw or indefinite stall)
     kDeadline,       // SchedOptions deadline expired
     kCancelled,      // externally cancelled (serve::Handle::cancel, stop)
+    kWatchdog,       // the stall watchdog saw no progress within its budget
+    kShed,           // pending work dropped by serve overload shedding
   };
 
   Kind kind = Kind::kBodyException;
@@ -238,6 +240,8 @@ struct FailureRecord {
       case Kind::kInjectedFault: return "injected-fault";
       case Kind::kDeadline: return "deadline";
       case Kind::kCancelled: return "cancelled";
+      case Kind::kWatchdog: return "watchdog";
+      case Kind::kShed: return "shed";
     }
     return "?";
   }
@@ -267,6 +271,14 @@ inline std::string describe_exception(const std::exception_ptr& e) {
   }
 }
 
+/// Host steady clock as nanoseconds-since-epoch: the threaded stall
+/// watchdog's time base (one i64, cheap to store in a relaxed atomic).
+inline i64 host_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Shared cancellation state of one scheduled execution (a member of
 /// SchedState).  `claim` elects the single failure-record owner and `latch`
 /// the single cancellation initiator — both via engine-serialized
@@ -286,6 +298,20 @@ struct CancelState {
   /// Threaded-engine deadline on the host clock.
   bool host_deadline_armed = false;
   std::chrono::steady_clock::time_point host_deadline{};
+
+  // --- stall watchdog (docs/robustness.md; both budgets 0 = disarmed) ---
+  // Progress is marked at chunk completion (the icount update): the last
+  // mark plus the budget is the rescue point.  On vtime the mark is a plain
+  // field — every write/read is engine-serialized, so rescues replay
+  // bit-identically; on threads it is a relaxed atomic on the host clock.
+  /// Virtual-time budget: rescue after this many vcycles without progress.
+  Cycles stall_vcycles = 0;
+  /// Threaded budget: rescue after this many host ns without progress.
+  i64 stall_ns = 0;
+  /// vtime: virtual time of the last completed chunk (engine-serialized).
+  Cycles watch_vt = 0;
+  /// Threads: host_now_ns() of the last completed chunk.
+  std::atomic<i64> watch_host{0};
 };
 
 // ---------------------------------------------------------------------------

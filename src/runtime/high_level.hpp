@@ -276,32 +276,88 @@ inline bool deadline_expired(C& ctx, const SchedState<C>& st) {
   }
 }
 
-/// Deadline probe for SEARCH and the blocking spin loops: free until the
-/// deadline passes; then claims the record (unless a richer failure — e.g.
-/// an injected stall's — already did) and cancels.  Losers keep re-running
-/// the elections until `done` ends their spin, which is bounded and, under
-/// vtime, deterministic.
+/// Has the stall watchdog's budget elapsed since the last progress mark?
+/// Disarmed (budget 0): constant false, no reads, bit-equal to the
+/// pre-watchdog path.  vtime: deterministic virtual-clock comparison
+/// against the engine-serialized mark.  Threads: host steady clock against
+/// the relaxed-atomic mark.
+template <exec::ExecutionContext C>
+inline bool watchdog_expired(C& ctx, const SchedState<C>& st) {
+  if constexpr (C::kIsSimulated) {
+    return st.cancel.stall_vcycles > 0 &&
+           ctx.now() > st.cancel.watch_vt + st.cancel.stall_vcycles;
+  } else {
+    (void)ctx;
+    if (st.cancel.stall_ns <= 0) return false;
+    return fault::host_now_ns() -
+               st.cancel.watch_host.load(std::memory_order_relaxed) >
+           st.cancel.stall_ns;
+  }
+}
+
+/// Mark namespace progress for the stall watchdog.  Called at chunk
+/// completion (the icount update — the unit the paper's overhead analysis
+/// accounts in, and the only point where the namespace provably advanced).
+/// A disarmed watchdog skips the write entirely, and an armed one adds no
+/// sync op, so the vtime trajectory is unchanged either way.
+template <exec::ExecutionContext C>
+inline void watchdog_progress(C& ctx, SchedState<C>& st) {
+  if constexpr (C::kIsSimulated) {
+    if (st.cancel.stall_vcycles > 0) st.cancel.watch_vt = ctx.now();
+  } else {
+    (void)ctx;
+    if (st.cancel.stall_ns > 0) {
+      st.cancel.watch_host.store(fault::host_now_ns(),
+                                 std::memory_order_relaxed);
+    }
+  }
+}
+
+/// Deadline + stall-watchdog probe for SEARCH and the blocking spin loops:
+/// free until a deadline passes or the watchdog's budget runs dry; then
+/// claims the record (unless a richer failure — e.g. an injected stall's —
+/// already did) and cancels.  Losers keep re-running the elections until
+/// `done` ends their spin, which is bounded and, under vtime,
+/// deterministic.  A wedged worker polls this from its own spin loop, so a
+/// watchdog rescue needs no external delivery: the namespace rescues
+/// itself through the existing poison/drain machinery.
 template <exec::ExecutionContext C>
 void deadline_check(C& ctx, SchedState<C>& st) {
-  if (!deadline_expired(ctx, st)) return;
-  if (cancelled_fast(ctx, st)) return;  // threaded fast path
   static const IndexVec kEmpty;
-  if (claim_failure_record(ctx, st)) {
-    write_failure_record(ctx, st, fault::FailureRecord::Kind::kDeadline,
-                         kNoLoop, kEmpty, 0, -1, "deadline expired", nullptr);
+  if (deadline_expired(ctx, st)) {
+    if (cancelled_fast(ctx, st)) return;  // threaded fast path
+    if (claim_failure_record(ctx, st)) {
+      write_failure_record(ctx, st, fault::FailureRecord::Kind::kDeadline,
+                           kNoLoop, kEmpty, 0, -1, "deadline expired",
+                           nullptr);
+    }
+    if (initiate_cancel(ctx, st)) {
+      trace::bump(ctx, &trace::Counters::deadline_expirations);
+    }
+    return;
   }
-  if (initiate_cancel(ctx, st)) {
-    trace::bump(ctx, &trace::Counters::deadline_expirations);
+  if (watchdog_expired(ctx, st)) {
+    if (cancelled_fast(ctx, st)) return;  // threaded fast path
+    if (claim_failure_record(ctx, st)) {
+      write_failure_record(ctx, st, fault::FailureRecord::Kind::kWatchdog,
+                           kNoLoop, kEmpty, 0, -1,
+                           "stall watchdog: no chunk completed within budget",
+                           nullptr);
+    }
+    if (initiate_cancel(ctx, st)) {
+      trace::bump(ctx, &trace::Counters::serve_watchdog_rescues);
+    }
   }
 }
 
 /// Abort probe between body iterations: no sync ops on the healthy path.
 /// Threaded workers abort on the host mirror; both engines abort on a
-/// (locally detected, deterministic under vtime) expired deadline.
+/// (locally detected, deterministic under vtime) expired deadline or
+/// drained watchdog budget.
 template <exec::ExecutionContext C>
 inline bool body_cancel_point(C& ctx, SchedState<C>& st) {
   if (cancelled_fast(ctx, st)) return true;
-  if (deadline_expired(ctx, st)) {
+  if (deadline_expired(ctx, st) || watchdog_expired(ctx, st)) {
     deadline_check(ctx, st);
     return true;
   }

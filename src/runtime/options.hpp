@@ -174,6 +174,20 @@ struct SchedOptions {
   /// deterministic and replayable.
   Cycles deadline_vcycles = 0;
 
+  /// Threaded engine: stall-watchdog budget in milliseconds (0 = off).  A
+  /// run that completes no chunk for this long is cancelled with a
+  /// FailureRecord::Kind::kWatchdog record (unless a richer claimant — e.g.
+  /// an injected stall — already named the wedged point), riding the same
+  /// poison/drain machinery as deadlines.  Unlike deadline_ms, the budget
+  /// is relative to the last progress mark, so long healthy runs never
+  /// trip it.  See docs/robustness.md.
+  i64 watchdog_stall_ms = 0;
+
+  /// Virtual-time engine: stall-watchdog budget in virtual cycles (0 =
+  /// off).  Progress marks and expiry checks are engine-serialized, so a
+  /// rescue — and the whole drain it triggers — replays bit-identically.
+  Cycles watchdog_stall_vcycles = 0;
+
   /// Fault-injection plan (runtime/fault.hpp): armed body-throw /
   /// worker-stall / lock-delay faults, fired deterministically at matching
   /// (loop, ivec, worker) points.  Not owned; FaultPlan::reset() re-arms it

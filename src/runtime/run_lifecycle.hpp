@@ -143,11 +143,22 @@ struct ProgramRun {
     st.set_host_quiescent(false);
     if constexpr (C::kIsSimulated) {
       st.cancel.vdeadline = o.deadline_vcycles;
-    } else if (o.deadline_ms > 0) {
-      // Armed before any worker is dispatched (single-threaded), so the
-      // workers' unsynchronized deadline_expired() reads are race-free.
-      arm_deadline(std::chrono::steady_clock::now() +
-                   std::chrono::milliseconds(o.deadline_ms));
+      // Stall watchdog: the virtual clock starts at 0, which is also the
+      // initial progress mark, so the first budget window opens at run
+      // start.  Both the budget and the marks are engine-serialized state.
+      st.cancel.stall_vcycles = o.watchdog_stall_vcycles;
+    } else {
+      if (o.deadline_ms > 0) {
+        // Armed before any worker is dispatched (single-threaded), so the
+        // workers' unsynchronized deadline_expired() reads are race-free.
+        arm_deadline(std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(o.deadline_ms));
+      }
+      if (o.watchdog_stall_ms > 0) {
+        st.cancel.stall_ns = o.watchdog_stall_ms * 1'000'000;
+        st.cancel.watch_host.store(fault::host_now_ns(),
+                                   std::memory_order_relaxed);
+      }
     }
   }
 

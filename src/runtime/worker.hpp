@@ -286,6 +286,7 @@ SessionExit worker_session(C& ctx, SchedState<C>& st,
                              .fetched;
       audit::on_complete(ctx, cursor.ip, completed_before, grab.count);
     }
+    watchdog_progress(ctx, st);
     if (completed_before + grab.count == cursor.b) {
       {
         const Cycles tx = trace::event_begin(ctx);

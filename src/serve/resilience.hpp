@@ -1,0 +1,177 @@
+// The serve daemon's recovery policy: stall-watchdog budgets, transient-
+// failure retry with deterministic backoff, the tenant quarantine circuit
+// breaker, and overload shedding.  One ResiliencePolicy is carried per
+// submission (the service default unless SubmitOptions overrides it), so
+// one tenant can run hardened while a neighbor runs bare.
+//
+// Everything here is plain data plus pure functions: the Service applies
+// the policy under its own mutex (threads) or inside the deterministic
+// grant loop (vtime), and every decision in the deterministic mode is a
+// function of engine-serialized state — the virtual clock, the seeded
+// jitter hash, the submission sequence numbers — so a chaos trajectory
+// (rescues, retries, quarantines, sheds) replays bit-identically.
+// docs/robustness.md has the classification table and the determinism
+// contract; docs/serving.md the knob reference.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "runtime/fault.hpp"
+#include "sync/backoff.hpp"
+
+namespace selfsched::serve {
+
+/// Per-service / per-tenant recovery policy.  Everything defaults to OFF:
+/// a default-constructed policy makes the service behave bit-identically
+/// to the pre-resilience daemon (asserted by test_serve).
+///
+/// Time-valued knobs come in pairs: the *_ms field applies in threads mode
+/// (host clock), the *_vcycles field in deterministic mode (virtual
+/// clock).  Only the pair member matching the service mode is read.
+struct ResiliencePolicy {
+  // --- stall watchdog (engine-level; SchedOptions::watchdog_*) ---
+  /// Threads: cancel + rescue a namespace that completes no chunk for this
+  /// many milliseconds (0 = off).
+  i64 watchdog_stall_ms = 0;
+  /// Deterministic mode: the same budget in virtual cycles (0 = off).
+  Cycles watchdog_stall_vcycles = 0;
+
+  // --- retry with backoff ---
+  /// Retry budget: how many times a transient failure is resubmitted into
+  /// a fresh ProgramRun namespace (0 = never retry).
+  u32 max_retries = 0;
+  /// Backoff envelope before retry k: base * 2^(k-1), capped.  Threads
+  /// units are microseconds; deterministic units are virtual cycles.
+  i64 retry_backoff_us = 200;
+  i64 retry_backoff_cap_us = 20'000;
+  Cycles retry_backoff_vcycles = 10'000;
+  Cycles retry_backoff_cap_vcycles = 1'000'000;
+  /// Seeded jitter (sync::Backoff::seed_jitter) applied to the envelope;
+  /// 0 = no jitter.  Deterministic per (seed, submission seq, attempt).
+  u64 retry_jitter_seed = 0;
+  /// Classify deadline expiries as transient (retried) instead of
+  /// permanent.  The deadline stays measured from the ORIGINAL submission,
+  /// so a retried deadline usually re-expires unless the first expiry was
+  /// co-scheduling noise.
+  bool retry_deadlines = false;
+  /// Classify real body exceptions as transient.  Off by default: a
+  /// throwing body is usually a program bug, and retrying it burns the
+  /// budget to reach the same permanent failure.
+  bool retry_body_errors = false;
+
+  // --- quarantine circuit breaker ---
+  /// Trip after this many tenant-attributable terminal failures inside the
+  /// sliding window (0 = breaker off).
+  u32 quarantine_failures = 0;
+  i64 quarantine_window_ms = 1'000;
+  Cycles quarantine_window_vcycles = 1'000'000;
+  /// Cooldown during which the tenant's submissions get kQuarantined; the
+  /// first submission after it is admitted on probation (half-open).
+  i64 quarantine_cooldown_ms = 500;
+  Cycles quarantine_cooldown_vcycles = 500'000;
+
+  // --- overload shedding ---
+  /// Queue-depth watermark (0 = off): at `queued >= watermark`, admission
+  /// sheds the newest pending submission of the lowest priority tier
+  /// strictly below the arrival's tier (structured kShed outcome) instead
+  /// of hard-rejecting the arrival; an arrival that is itself lowest-tier
+  /// is refused with SubmitStatus::kShed.
+  u32 shed_watermark = 0;
+
+  bool any_enabled() const {
+    return watchdog_stall_ms > 0 || watchdog_stall_vcycles > 0 ||
+           max_retries > 0 || quarantine_failures > 0 || shed_watermark > 0;
+  }
+};
+
+/// Is this terminal-attempt failure kind retryable under the policy?
+/// Injected faults and watchdog rescues are the transient classes the
+/// tentpole names; kCancelled (the client's doing) and kShed (the
+/// service's doing) are always terminal.
+inline bool transient_failure(fault::FailureRecord::Kind k,
+                              const ResiliencePolicy& p) {
+  switch (k) {
+    case fault::FailureRecord::Kind::kInjectedFault: return true;
+    case fault::FailureRecord::Kind::kWatchdog: return true;
+    case fault::FailureRecord::Kind::kDeadline: return p.retry_deadlines;
+    case fault::FailureRecord::Kind::kBodyException:
+      return p.retry_body_errors;
+    case fault::FailureRecord::Kind::kCancelled: return false;
+    case fault::FailureRecord::Kind::kShed: return false;
+  }
+  return false;
+}
+
+/// Backoff delay before retry `attempt` (1-based): the seeded-jitter
+/// Backoff's attempt-th envelope.  Pure function of (base, cap, seed, key,
+/// attempt) — `key` is the submission's sequence number, so concurrent
+/// retries of different submissions decorrelate while each submission's
+/// own trajectory replays exactly.  Units are the caller's (us or vcycles).
+inline u64 retry_delay(u64 base, u64 cap, u64 jitter_seed, u64 key,
+                       u32 attempt) {
+  sync::Backoff b(static_cast<Cycles>(std::max<u64>(base, 1)),
+                  static_cast<Cycles>(std::max<u64>(cap, base)));
+  if (jitter_seed != 0) b.seed_jitter(mix64(jitter_seed ^ key));
+  u64 d = base;
+  for (u32 k = 0; k < attempt; ++k) d = static_cast<u64>(b.next());
+  return d;
+}
+
+/// Quarantine circuit-breaker states (per tenant).
+enum class TenantState : u32 {
+  kHealthy,      // breaker closed; submissions admitted normally
+  kQuarantined,  // breaker open; submissions rejected until the cooldown
+  kProbation,    // half-open: one probe submission in flight decides
+};
+
+inline const char* tenant_state_name(TenantState s) {
+  switch (s) {
+    case TenantState::kHealthy: return "healthy";
+    case TenantState::kQuarantined: return "quarantined";
+    case TenantState::kProbation: return "probation";
+  }
+  return "?";
+}
+
+/// Per-tenant health ledger (service-internal; guarded by the service
+/// mutex).  Timestamps are ns since the service epoch in threads mode and
+/// virtual cycles in deterministic mode — one u64 time base either way.
+struct TenantHealth {
+  TenantState state = TenantState::kHealthy;
+  std::deque<u64> failure_times;  // sliding breaker window
+  u64 quarantined_until = 0;
+  u64 probe_seq = 0;  // kProbation: the half-open probe submission
+
+  // Lifetime tallies for the health table / JSON report.
+  u64 retries = 0;
+  u64 failures = 0;
+  u64 completions = 0;
+  u64 quarantines = 0;
+  u64 sheds = 0;
+  bool has_failure = false;
+  fault::FailureRecord::Kind last_failure =
+      fault::FailureRecord::Kind::kBodyException;
+};
+
+/// One row of Service::health_snapshot(): the tenant's breaker state plus
+/// its recovery history, for the CLI health table and the JSON
+/// "resilience" block.
+struct TenantHealthRow {
+  u64 tenant = 0;
+  TenantState state = TenantState::kHealthy;
+  bool in_flight = false;  // has unfinished submissions right now
+  bool retrying = false;   // some unfinished submission is a retry attempt
+  u64 retries = 0;
+  u64 failures = 0;
+  u64 completions = 0;
+  u64 quarantines = 0;
+  u64 sheds = 0;
+  bool has_failure = false;
+  fault::FailureRecord::Kind last_failure =
+      fault::FailureRecord::Kind::kBodyException;
+};
+
+}  // namespace selfsched::serve

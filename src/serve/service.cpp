@@ -74,7 +74,8 @@ Service::Service(u32 procs, ServeOptions opts)
         o.priorities = std::max(1u, o.priorities);
         o.max_active = std::max(1u, o.max_active);
         return o;
-      }()) {
+      }()),
+      epoch_(Clock::now()) {
   SS_CHECK(procs >= 1);
   queues_.resize(opts_.priorities);
   if (!opts_.deterministic) {
@@ -98,6 +99,59 @@ SubmitOutcome Service::submit(
     counters_.serve_rejections++;
     return {SubmitStatus::kStopped, Handle()};
   }
+  const ResiliencePolicy pol = s.resilience ? *s.resilience : opts_.resilience;
+  // Quarantine circuit breaker: an open breaker rejects the tenant outright;
+  // once the cooldown has elapsed exactly one arrival is admitted as the
+  // half-open probe, whose terminal outcome closes or re-opens the breaker.
+  bool as_probe = false;
+  if (pol.quarantine_failures > 0) {
+    const auto hit = health_.find(s.tenant);
+    if (hit != health_.end()) {
+      const TenantHealth& h = hit->second;
+      if (h.state == TenantState::kQuarantined) {
+        if (now_stamp_locked() < h.quarantined_until) {
+          counters_.serve_rejections++;
+          return {SubmitStatus::kQuarantined, Handle()};
+        }
+        as_probe = true;  // cooldown over: this arrival probes
+      } else if (h.state == TenantState::kProbation) {
+        if (h.probe_seq != 0) {  // a probe is already in flight
+          counters_.serve_rejections++;
+          return {SubmitStatus::kQuarantined, Handle()};
+        }
+        as_probe = true;  // prior probe never got admitted; retake the role
+      }
+    }
+  }
+  const u32 priority = std::min(s.priority, opts_.priorities - 1);
+  // Overload shedding: at the watermark, drop the newest pending submission
+  // of the lowest tier strictly below the arrival (structured kShed result)
+  // to make room; an arrival that is itself lowest-tier is refused instead.
+  if (pol.shed_watermark > 0 && queued_ >= pol.shed_watermark) {
+    std::shared_ptr<Submission> victim;
+    for (u32 tier = opts_.priorities; tier-- > priority + 1 && !victim;) {
+      auto& q = queues_[tier];
+      for (auto it = q.rbegin(); it != q.rend(); ++it) {
+        if ((*it)->state == Submission::State::kQueued) {
+          victim = *it;
+          q.erase(std::next(it).base());
+          break;
+        }
+      }
+    }
+    counters_.serve_sheds++;
+    if (victim == nullptr) {
+      counters_.serve_rejections++;
+      health_[s.tenant].sheds++;
+      return {SubmitStatus::kShed, Handle()};
+    }
+    queued_--;
+    victim->queue_wait +=
+        opts_.deterministic ? vnow_ - victim->vqueued_since
+                            : ns_between(victim->queued_since, Clock::now());
+    finalize_unrun_locked(*victim, fault::FailureRecord::Kind::kShed,
+                          "shed under overload");
+  }
   if (queued_ >= opts_.max_queue_depth) {
     counters_.serve_rejections++;
     return {SubmitStatus::kQueueFull, Handle()};
@@ -111,14 +165,17 @@ SubmitOutcome Service::submit(
   auto sub = std::make_shared<Submission>(std::move(prog));
   sub->seq = next_seq_++;
   sub->tenant = s.tenant;
-  sub->priority = std::min(s.priority, opts_.priorities - 1);
+  sub->priority = priority;
+  sub->policy = pol;
   sub->deadline_ms = opts_.deterministic ? 0 : s.deadline_ms;
   sub->submitted_at = Clock::now();
+  sub->queued_since = sub->submitted_at;
   if (sub->deadline_ms > 0) {
     sub->deadline_at =
         sub->submitted_at + std::chrono::milliseconds(sub->deadline_ms);
   }
   sub->vsubmitted = vnow_;
+  sub->vqueued_since = vnow_;
   sub->opts = s.sched;
   if (s.strategy) sub->opts.strategy = *s.strategy;
   // The service owns failure policy: cancellation/deadlines/body errors
@@ -136,6 +193,27 @@ SubmitOutcome Service::submit(
     sub->opts.doacross_backoff_max = std::max<Cycles>(
         sub->opts.doacross_backoff_max, exec::RContext::kPauseYieldThreshold);
   }
+  // Arm the policy's stall watchdog on the namespace (tightest budget wins
+  // if the tenant armed its own through sched).
+  if (opts_.deterministic) {
+    if (pol.watchdog_stall_vcycles > 0) {
+      sub->opts.watchdog_stall_vcycles =
+          sub->opts.watchdog_stall_vcycles > 0
+              ? std::min(sub->opts.watchdog_stall_vcycles,
+                         pol.watchdog_stall_vcycles)
+              : pol.watchdog_stall_vcycles;
+    }
+  } else if (pol.watchdog_stall_ms > 0) {
+    sub->opts.watchdog_stall_ms =
+        sub->opts.watchdog_stall_ms > 0
+            ? std::min(sub->opts.watchdog_stall_ms, pol.watchdog_stall_ms)
+            : pol.watchdog_stall_ms;
+  }
+  if (as_probe) {
+    TenantHealth& h = health_[s.tenant];
+    h.state = TenantState::kProbation;
+    h.probe_seq = sub->seq;
+  }
 
   queues_[sub->priority].push_back(sub);
   queued_++;
@@ -145,8 +223,29 @@ SubmitOutcome Service::submit(
   return {SubmitStatus::kAccepted, Handle(this, sub)};
 }
 
+u64 Service::now_stamp_locked() const {
+  return opts_.deterministic ? vnow_ : ns_between(epoch_, Clock::now());
+}
+
+/// Past its retry-backoff gate?  First attempts are always ready; retries
+/// wait out their deterministic backoff delay (virtual clock in det mode,
+/// host clock in threads mode — the workers' 500us timed wait re-probes).
+bool Service::ready_locked(const Submission& sub) const {
+  if (sub.attempts == 0) return true;
+  return opts_.deterministic ? sub.vnot_before <= vnow_
+                             : Clock::now() >= sub.not_before;
+}
+
 bool Service::grantable_locked() const {
-  if (active_.size() < opts_.max_active && queued_ > 0) return true;
+  if (active_.size() < opts_.max_active && queued_ > 0) {
+    for (const auto& q : queues_) {
+      for (const auto& s : q) {
+        if (s->state == Submission::State::kQueued && ready_locked(*s)) {
+          return true;
+        }
+      }
+    }
+  }
   for (const auto& s : active_) {
     if (!s->done_flag && !(s->stalled && s->workers_in > 0)) return true;
   }
@@ -155,10 +254,17 @@ bool Service::grantable_locked() const {
 
 std::shared_ptr<Submission> Service::pop_queued_locked() {
   for (auto& q : queues_) {  // index 0 = highest priority
-    while (!q.empty()) {
-      std::shared_ptr<Submission> sub = q.front();
-      q.pop_front();
-      if (sub->state != Submission::State::kQueued) continue;  // lazy-removed
+    for (auto it = q.begin(); it != q.end();) {
+      if ((*it)->state != Submission::State::kQueued) {
+        it = q.erase(it);  // lazily removed (cancelled / shed)
+        continue;
+      }
+      if (!ready_locked(**it)) {  // backing off before a retry
+        ++it;
+        continue;
+      }
+      std::shared_ptr<Submission> sub = std::move(*it);
+      q.erase(it);
       queued_--;
       return sub;
     }
@@ -168,7 +274,7 @@ std::shared_ptr<Submission> Service::pop_queued_locked() {
 
 void Service::activate_locked(const std::shared_ptr<Submission>& sub) {
   if (opts_.deterministic) {
-    sub->queue_wait = vnow_ - sub->vsubmitted;
+    sub->queue_wait += vnow_ - sub->vqueued_since;
     if (sub->cancel_flag.load(std::memory_order_relaxed)) {
       finalize_unrun_locked(*sub, fault::FailureRecord::Kind::kCancelled,
                             "cancelled while queued");
@@ -179,7 +285,7 @@ void Service::activate_locked(const std::shared_ptr<Submission>& sub) {
     return;
   }
   const Clock::time_point now = Clock::now();
-  sub->queue_wait = ns_between(sub->submitted_at, now);
+  sub->queue_wait += ns_between(sub->queued_since, now);
   if (sub->cancel_flag.load(std::memory_order_relaxed)) {
     finalize_unrun_locked(*sub, fault::FailureRecord::Kind::kCancelled,
                           "cancelled while queued");
@@ -256,6 +362,7 @@ void Service::finalize_unrun_locked(Submission& sub,
   rec.kind = kind;
   rec.message = message;
   r.failure.emplace(std::move(rec));
+  r.counters.serve_retries += sub.attempts;
   runtime::finalize(r);
   runtime::TenantStats row;
   row.tenant = sub.tenant;
@@ -263,6 +370,7 @@ void Service::finalize_unrun_locked(Submission& sub,
   row.submissions = 1;
   row.queue_wait = sub.queue_wait;
   r.tenants.push_back(row);
+  record_terminal_locked(sub, r);
   erase_active(active_, &sub);
   sub.state = Submission::State::kFinished;
   sub.run.reset();
@@ -270,24 +378,146 @@ void Service::finalize_unrun_locked(Submission& sub,
   retire_locked(sub, row);
 }
 
-void Service::finalize_run_locked(Submission& sub) {
-  const u64 makespan = ns_between(sub.started_at, Clock::now());
-  runtime::RunResult r = sub.run->finish(procs_, makespan);
-  r.counters.serve_preemptions += sub.preemptions;
+/// Retryable?  Transient kinds under the submission's policy, inside the
+/// retry budget, not client-cancelled — and never when the attempt's
+/// auditor recorded violations: a retry must not mask audit findings.
+bool Service::should_retry_locked(const Submission& sub,
+                                  const runtime::RunResult& r) const {
+  if (!r.failure.has_value()) return false;
+  if (sub.cancel_flag.load(std::memory_order_relaxed)) return false;
+  if (r.audit_violations != 0) return false;
+  if (sub.attempts >= sub.policy.max_retries) return false;
+  return transient_failure(r.failure->kind, sub.policy);
+}
+
+/// Resubmit a transiently failed submission: back into its priority queue
+/// behind a deterministic backoff gate, to be activated into a FRESH
+/// ProgramRun namespace.  The FaultPlan is NOT reset — fired exactly-once
+/// specs stay fired, so the retried run executes as if unarmed and its
+/// result is oracle-identical.  granted/slices/queue_wait keep accumulating
+/// across attempts: fairness charges the tenant for its retried cycles.
+void Service::schedule_retry_locked(const std::shared_ptr<Submission>& sub,
+                                    const runtime::RunResult& r) {
+  sub->attempts++;
+  counters_.serve_retries++;
+  TenantHealth& h = health_[sub->tenant];
+  h.retries++;
+  h.has_failure = true;
+  h.last_failure = r.failure->kind;
+  sub->prior_audit_violations += r.audit_violations;
+  erase_active(active_, sub.get());
+  sub->run.reset();
+  sub->state = Submission::State::kQueued;
+  sub->seeded = false;
+  sub->done_flag = false;
+  sub->stalled = false;
+  const ResiliencePolicy& pol = sub->policy;
+  if (opts_.deterministic) {
+    sub->vnot_before =
+        vnow_ + retry_delay(static_cast<u64>(pol.retry_backoff_vcycles),
+                            static_cast<u64>(pol.retry_backoff_cap_vcycles),
+                            pol.retry_jitter_seed, sub->seq, sub->attempts);
+    sub->vqueued_since = vnow_;
+  } else {
+    const Clock::time_point now = Clock::now();
+    const u64 delay_us =
+        retry_delay(static_cast<u64>(pol.retry_backoff_us),
+                    static_cast<u64>(pol.retry_backoff_cap_us),
+                    pol.retry_jitter_seed, sub->seq, sub->attempts);
+    sub->not_before =
+        now + std::chrono::microseconds(static_cast<i64>(delay_us));
+    sub->queued_since = now;
+  }
+  queues_[sub->priority].push_back(sub);
+  queued_++;
+  work_cv_.notify_all();
+}
+
+/// Quarantine-breaker bookkeeping at a submission's terminal outcome.
+/// Success / kShed / kCancelled are neutral (not the tenant's fault): they
+/// close a half-open breaker but never trip it.  Tenant-attributable
+/// terminal failures enter the sliding window; a window overflow — or any
+/// failed probe — opens the breaker for the cooldown.
+void Service::record_terminal_locked(Submission& sub,
+                                     const runtime::RunResult& r) {
+  TenantHealth& h = health_[sub.tenant];
+  const bool probe =
+      h.state == TenantState::kProbation && h.probe_seq == sub.seq;
+  if (probe) h.probe_seq = 0;
+  if (!r.failure.has_value()) {
+    h.completions++;
+    if (probe) {
+      h.state = TenantState::kHealthy;
+      h.failure_times.clear();
+    }
+    return;
+  }
+  const fault::FailureRecord::Kind kind = r.failure->kind;
+  h.has_failure = true;
+  h.last_failure = kind;
+  if (kind == fault::FailureRecord::Kind::kShed ||
+      kind == fault::FailureRecord::Kind::kCancelled) {
+    if (kind == fault::FailureRecord::Kind::kShed) h.sheds++;
+    // Neutral probe outcome: close the breaker but keep the failure
+    // window, so a genuine relapse re-trips quickly.
+    if (probe) h.state = TenantState::kHealthy;
+    return;
+  }
+  h.failures++;
+  const ResiliencePolicy& pol = sub.policy;
+  if (pol.quarantine_failures == 0) return;
+  const u64 now = now_stamp_locked();
+  const u64 window =
+      opts_.deterministic
+          ? static_cast<u64>(pol.quarantine_window_vcycles)
+          : static_cast<u64>(pol.quarantine_window_ms) * 1'000'000u;
+  h.failure_times.push_back(now);
+  while (!h.failure_times.empty() && now - h.failure_times.front() > window) {
+    h.failure_times.pop_front();
+  }
+  const bool trip =
+      probe || (h.state == TenantState::kHealthy &&
+                h.failure_times.size() >= pol.quarantine_failures);
+  if (trip) {
+    h.state = TenantState::kQuarantined;
+    h.quarantined_until =
+        now + (opts_.deterministic
+                   ? static_cast<u64>(pol.quarantine_cooldown_vcycles)
+                   : static_cast<u64>(pol.quarantine_cooldown_ms) *
+                         1'000'000u);
+    h.quarantines++;
+    counters_.serve_quarantines++;
+  }
+}
+
+void Service::finalize_run_locked(const std::shared_ptr<Submission>& sub) {
+  const u64 makespan = ns_between(sub->started_at, Clock::now());
+  runtime::RunResult r = sub->run->finish(procs_, makespan);
+  // Fold before the retry branch: a retried attempt's result is discarded,
+  // but its rescue still happened.
+  counters_.serve_watchdog_rescues += r.counters.serve_watchdog_rescues;
+  if (should_retry_locked(*sub, r)) {
+    schedule_retry_locked(sub, r);
+    return;
+  }
+  r.counters.serve_preemptions += sub->preemptions;
+  r.counters.serve_retries += sub->attempts;
+  r.audit_violations += sub->prior_audit_violations;
   runtime::TenantStats row;
-  row.tenant = sub.tenant;
-  row.priority = sub.priority;
+  row.tenant = sub->tenant;
+  row.priority = sub->priority;
   row.submissions = 1;
-  row.queue_wait = sub.queue_wait;
-  row.granted = sub.granted;
-  row.slices = sub.slices;
-  row.preemptions = sub.preemptions;
+  row.queue_wait = sub->queue_wait;
+  row.granted = sub->granted;
+  row.slices = sub->slices;
+  row.preemptions = sub->preemptions;
   r.tenants.push_back(row);
-  erase_active(active_, &sub);
-  sub.state = Submission::State::kFinished;
-  sub.run.reset();  // the namespace is drained; the result carries the rest
-  sub.result.emplace(std::move(r));
-  retire_locked(sub, row);
+  record_terminal_locked(*sub, r);
+  erase_active(active_, sub.get());
+  sub->state = Submission::State::kFinished;
+  sub->run.reset();  // the namespace is drained; the result carries the rest
+  sub->result.emplace(std::move(r));
+  retire_locked(*sub, row);
 }
 
 void Service::retire_locked(Submission& sub,
@@ -336,7 +566,7 @@ void Service::worker_main(ProcId id) {
     }
     if (sub->done_flag && sub->workers_in == 0 &&
         sub->state == Submission::State::kActive) {
-      finalize_run_locked(*sub);
+      finalize_run_locked(sub);
     } else {
       // Eligibility may have changed (stalled cleared / workers_in freed).
       work_cv_.notify_all();
@@ -419,9 +649,9 @@ bool Service::cancel(const std::shared_ptr<Submission>& sub) {
   sub->cancel_flag.store(true, std::memory_order_relaxed);
   if (sub->state == Submission::State::kQueued) {
     queued_--;  // lazily removed from its deque by pop_queued_locked
-    sub->queue_wait = opts_.deterministic
-                          ? vnow_ - sub->vsubmitted
-                          : ns_between(sub->submitted_at, Clock::now());
+    sub->queue_wait += opts_.deterministic
+                           ? vnow_ - sub->vqueued_since
+                           : ns_between(sub->queued_since, Clock::now());
     finalize_unrun_locked(*sub, fault::FailureRecord::Kind::kCancelled,
                           "cancelled while queued");
   } else {
@@ -433,7 +663,26 @@ bool Service::cancel(const std::shared_ptr<Submission>& sub) {
 
 void Service::drive_one_locked(std::unique_lock<std::mutex>& lk) {
   std::shared_ptr<Submission> sub = admit_and_pick_locked();
-  if (sub == nullptr) return;
+  if (sub == nullptr) {
+    // Everything queued may be waiting out a retry backoff.  The virtual
+    // clock only advances on grants, so jump it to the earliest gate —
+    // deterministically: the gates are pure functions of the trajectory.
+    u64 wake = 0;
+    bool any = false;
+    for (const auto& q : queues_) {
+      for (const auto& s : q) {
+        if (s->state != Submission::State::kQueued) continue;
+        if (!any || s->vnot_before < wake) {
+          wake = s->vnot_before;
+          any = true;
+        }
+      }
+    }
+    if (!any) return;
+    vnow_ = std::max(vnow_, wake);
+    sub = admit_and_pick_locked();
+    if (sub == nullptr) return;
+  }
   if (sub->cancel_flag.load(std::memory_order_relaxed)) {
     finalize_unrun_locked(*sub, fault::FailureRecord::Kind::kCancelled,
                           "cancelled before grant");
@@ -448,16 +697,24 @@ void Service::drive_one_locked(std::unique_lock<std::mutex>& lk) {
   runtime::RunResult r = runtime::run_vtime(*sub->prog, procs_, o);
   lk.lock();
   vnow_ += r.makespan;
-  sub->granted = r.makespan;
-  sub->slices = 1;
+  sub->granted += r.makespan;
+  sub->slices++;
+  counters_.serve_watchdog_rescues += r.counters.serve_watchdog_rescues;
+  if (should_retry_locked(*sub, r)) {
+    schedule_retry_locked(sub, r);
+    return;
+  }
+  r.counters.serve_retries += sub->attempts;
+  r.audit_violations += sub->prior_audit_violations;
   runtime::TenantStats row;
   row.tenant = sub->tenant;
   row.priority = sub->priority;
   row.submissions = 1;
   row.queue_wait = sub->queue_wait;
   row.granted = sub->granted;
-  row.slices = 1;
+  row.slices = sub->slices;
   r.tenants.push_back(row);
+  record_terminal_locked(*sub, r);
   erase_active(active_, sub.get());
   sub->state = Submission::State::kFinished;
   sub->result.emplace(std::move(r));
@@ -508,6 +765,47 @@ std::vector<runtime::TenantStats> Service::tenant_snapshot() const {
   for (auto& [id, row] : rows) out.push_back(row);
   std::sort(out.begin(), out.end(),
             [](const runtime::TenantStats& a, const runtime::TenantStats& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
+}
+
+std::vector<TenantHealthRow> Service::health_snapshot() const {
+  std::lock_guard lk(mu_);
+  std::unordered_map<u64, TenantHealthRow> rows;
+  for (const auto& [tenant, h] : health_) {
+    TenantHealthRow& row = rows[tenant];
+    row.tenant = tenant;
+    row.state = h.state;
+    row.retries = h.retries;
+    row.failures = h.failures;
+    row.completions = h.completions;
+    row.quarantines = h.quarantines;
+    row.sheds = h.sheds;
+    row.has_failure = h.has_failure;
+    row.last_failure = h.last_failure;
+  }
+  for (const auto& [tenant, n] : tenants_inflight_) {
+    TenantHealthRow& row = rows[tenant];
+    row.tenant = tenant;
+    row.in_flight = n > 0;
+  }
+  const auto mark_retrying = [&](const std::shared_ptr<Submission>& s) {
+    if (s->attempts > 0 && s->state != Submission::State::kFinished) {
+      TenantHealthRow& row = rows[s->tenant];
+      row.tenant = s->tenant;
+      row.retrying = true;
+    }
+  };
+  for (const auto& q : queues_) {
+    for (const auto& s : q) mark_retrying(s);
+  }
+  for (const auto& s : active_) mark_retrying(s);
+  std::vector<TenantHealthRow> out;
+  out.reserve(rows.size());
+  for (auto& [id, row] : rows) out.push_back(row);
+  std::sort(out.begin(), out.end(),
+            [](const TenantHealthRow& a, const TenantHealthRow& b) {
               return a.tenant < b.tenant;
             });
   return out;

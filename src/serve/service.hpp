@@ -34,6 +34,7 @@
 // bit-replayable.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -65,6 +66,14 @@ struct ServeOptions {
   /// grants synchronously, each executing a whole program via run_vtime
   /// with schedule recording on.
   bool deterministic = false;
+  /// Service-default recovery policy (stall watchdog, retry-with-backoff,
+  /// quarantine breaker, overload shedding); SubmitOptions::resilience
+  /// overrides it per submission.  Default-constructed = everything off,
+  /// and the service is bit-identical to the pre-resilience daemon.
+  /// Deterministic-mode note: a grant runs a whole program, so a namespace
+  /// wedged by an indefinite injected stall only terminates if a watchdog
+  /// (or deadline_vcycles) is armed for it.
+  ResiliencePolicy resilience;
 };
 
 class Service;
@@ -145,8 +154,13 @@ class Service {
   std::vector<runtime::TenantStats> tenant_snapshot() const;
 
   /// Service-level counters (serve_submissions / serve_rejections /
-  /// serve_preemptions).
+  /// serve_preemptions / serve_retries / serve_watchdog_rescues /
+  /// serve_quarantines / serve_sheds).
   trace::Counters counters() const;
+
+  /// Per-tenant resilience health rows: breaker state, retry/failure/
+  /// completion tallies, whether anything is in flight or mid-retry.
+  std::vector<TenantHealthRow> health_snapshot() const;
 
   /// Deterministic mode: submission seqs in grant order.  Together with
   /// each result's schedule_decisions this is the complete, bit-replayable
@@ -171,6 +185,8 @@ class Service {
 
   // All *_locked members require mu_.
   bool grantable_locked() const;
+  bool ready_locked(const Submission& sub) const;  // past its backoff gate
+  u64 now_stamp_locked() const;  // ns since epoch_ (threads) / vnow_ (det)
   std::shared_ptr<Submission> pop_queued_locked();
   void activate_locked(const std::shared_ptr<Submission>& sub);
   std::shared_ptr<Submission> admit_and_pick_locked();
@@ -178,7 +194,12 @@ class Service {
   void finalize_unrun_locked(Submission& sub,
                              fault::FailureRecord::Kind kind,
                              const char* message);
-  void finalize_run_locked(Submission& sub);
+  void finalize_run_locked(const std::shared_ptr<Submission>& sub);
+  bool should_retry_locked(const Submission& sub,
+                           const runtime::RunResult& r) const;
+  void schedule_retry_locked(const std::shared_ptr<Submission>& sub,
+                             const runtime::RunResult& r);
+  void record_terminal_locked(Submission& sub, const runtime::RunResult& r);
   void retire_locked(Submission& sub, const runtime::TenantStats& row);
   void drive_one_locked(std::unique_lock<std::mutex>& lk);
 
@@ -195,6 +216,8 @@ class Service {
   std::vector<std::shared_ptr<Submission>> active_;
   std::unordered_map<u64, u32> tenants_inflight_;
   std::unordered_map<u64, runtime::TenantStats> tenant_totals_;
+  std::unordered_map<u64, TenantHealth> health_;
+  std::chrono::steady_clock::time_point epoch_;  // threads health time base
   trace::Counters counters_;
   std::vector<u64> grant_log_;
   u64 vnow_ = 0;          // deterministic mode: virtual clock

@@ -16,6 +16,7 @@
 #include "runtime/options.hpp"
 #include "runtime/run_lifecycle.hpp"
 #include "runtime/stats.hpp"
+#include "serve/resilience.hpp"
 
 namespace selfsched::serve {
 
@@ -27,6 +28,8 @@ enum class SubmitStatus : u32 {
   kQueueFull,       // queued submissions already at max_queue_depth
   kTooManyTenants,  // distinct in-flight tenants already at max_tenants
   kStopped,         // service is stopping; no new work
+  kQuarantined,     // tenant's circuit breaker is open (cooldown running)
+  kShed,            // overload shedding refused a lowest-tier arrival
 };
 
 inline const char* submit_status_name(SubmitStatus s) {
@@ -35,6 +38,8 @@ inline const char* submit_status_name(SubmitStatus s) {
     case SubmitStatus::kQueueFull: return "queue-full";
     case SubmitStatus::kTooManyTenants: return "too-many-tenants";
     case SubmitStatus::kStopped: return "stopped";
+    case SubmitStatus::kQuarantined: return "quarantined";
+    case SubmitStatus::kShed: return "shed";
   }
   return "?";
 }
@@ -66,6 +71,11 @@ struct SubmitOptions {
   /// tenant must make explicitly).  Lets one tenant run kAdaptive while a
   /// latency-sensitive neighbor pins a static schedule.
   std::optional<runtime::Strategy> strategy;
+  /// Per-tenant recovery policy override; unset = the service default
+  /// (ServeOptions::resilience).  The arrival's effective policy governs
+  /// its watchdog/retry/quarantine treatment AND the shed watermark its
+  /// admission is evaluated under.
+  std::optional<ResiliencePolicy> resilience;
 };
 
 /// Internal per-submission record.  Held by shared_ptr from the service
@@ -84,6 +94,7 @@ struct Submission {
   /// the compiled tables outlive run->st no matter when the client lets go.
   std::shared_ptr<const program::NestedLoopProgram> prog;
   runtime::SchedOptions opts;       // sanitized by the service
+  ResiliencePolicy policy;          // effective recovery policy
   i64 deadline_ms = 0;
   std::chrono::steady_clock::time_point submitted_at{};
   std::chrono::steady_clock::time_point deadline_at{};
@@ -104,9 +115,18 @@ struct Submission {
   bool stalled = false;
   u32 workers_in = 0;      // workers currently granted into the namespace
   u64 granted = 0;         // worker time granted (ns; vcycles when det.)
-  u64 queue_wait = 0;      // submit -> activation (ns; vcycles when det.)
+  u64 queue_wait = 0;      // total time queued, across every attempt
+                           // (ns; vcycles when det.)
   u64 slices = 0;
   u64 preemptions = 0;
+  // --- retry trajectory (granted/slices/queue_wait accumulate across
+  //     attempts; fairness charges the tenant for retried cycles too) ---
+  u32 attempts = 0;        // completed attempts that were retried
+  std::chrono::steady_clock::time_point not_before{};  // backoff gate
+  u64 vnot_before = 0;     // deterministic-mode backoff gate (vcycles)
+  std::chrono::steady_clock::time_point queued_since{};  // (re)queue time
+  u64 vqueued_since = 0;
+  u64 prior_audit_violations = 0;  // violations from retried attempts
   std::chrono::steady_clock::time_point started_at{};
   std::unique_ptr<runtime::ProgramRun<exec::RContext>> run;
   std::optional<runtime::RunResult> result;

@@ -51,6 +51,15 @@ struct Counters {
                                // set published through the batch path)
   u64 icb_steals = 0;          // ICB-pool acquisitions satisfied from a
                                // non-home arena shard
+  u64 serve_retries = 0;       // transient failures resubmitted into a
+                               // fresh ProgramRun namespace
+  u64 serve_watchdog_rescues = 0;  // stall-watchdog cancellations (the
+                                   // rescue that classified a hang as
+                                   // transient)
+  u64 serve_quarantines = 0;   // tenant quarantine-breaker trips (including
+                               // probation relapses)
+  u64 serve_sheds = 0;         // pending submissions dropped (or arrivals
+                               // refused) by overload shedding
 
   /// Visit (name, member pointer) of every counter — single source of truth
   /// for merge(), reports and exporters.
@@ -83,6 +92,10 @@ struct Counters {
     fn("cross_shard_ops", &Counters::cross_shard_ops);
     fn("enter_batches", &Counters::enter_batches);
     fn("icb_steals", &Counters::icb_steals);
+    fn("serve_retries", &Counters::serve_retries);
+    fn("serve_watchdog_rescues", &Counters::serve_watchdog_rescues);
+    fn("serve_quarantines", &Counters::serve_quarantines);
+    fn("serve_sheds", &Counters::serve_sheds);
   }
 
   void merge(const Counters& o) {

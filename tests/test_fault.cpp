@@ -5,8 +5,10 @@
 // bit-identical failure replay via the kReplay schedule controller.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "program/fig1.hpp"
 #include "runtime/fault.hpp"
@@ -182,6 +184,87 @@ TEST(FaultInject, IndefiniteStallIsRescuedByTheHostDeadline) {
   EXPECT_GE(r.counters.deadline_expirations, 1u);
 }
 #endif  // SELFSCHED_FAULT
+
+// ----------------------------------------------------------- stall watchdog
+//
+// The watchdog (SchedOptions::watchdog_stall_ms / _vcycles) rescues a
+// namespace that completes no chunk within its budget, with no deadline
+// armed at all; the serve retry layer classifies its rescues as transient.
+
+#if SELFSCHED_FAULT
+TEST(FaultWatchdog, VtimeRescueOfAnIndefiniteStallIsDeterministic) {
+  const auto prog = workloads::flat_doall(40, nullptr);
+  FaultPlan plan;
+  plan.worker_stall(/*loop=*/0, /*iteration=*/3, /*cycles=*/0);
+  SchedOptions opts;
+  opts.on_body_error = OnBodyError::kReturn;
+  opts.fault_plan = &plan;
+  opts.watchdog_stall_vcycles = 20000;
+  const RunResult r = runtime::run_vtime(prog, 4, opts);
+  ASSERT_TRUE(r.failure.has_value());
+  // The stall site claims the record (it knows the wedged point); the
+  // watchdog merely initiates the rescue and counts it.
+  EXPECT_EQ(r.failure->kind, FailureRecord::Kind::kInjectedFault);
+  EXPECT_EQ(r.failure->iteration, 3);
+  EXPECT_EQ(r.counters.serve_watchdog_rescues, 1u);
+  EXPECT_EQ(r.counters.cancellations, 1u);
+  EXPECT_EQ(r.counters.deadline_expirations, 0u);
+
+  plan.reset();
+  const RunResult r2 = runtime::run_vtime(prog, 4, opts);
+  EXPECT_EQ(r2.makespan, r.makespan);
+  EXPECT_EQ(r2.counters.serve_watchdog_rescues, 1u);
+}
+
+TEST(FaultWatchdog, ThreadsStallIsRescuedByTheWatchdog) {
+  const auto prog = workloads::flat_doall(5000, nullptr);
+  FaultPlan plan;
+  plan.worker_stall(/*loop=*/0, /*iteration=*/3, /*cycles=*/0);
+  SchedOptions opts;
+  opts.on_body_error = OnBodyError::kReturn;
+  opts.fault_plan = &plan;
+  opts.watchdog_stall_ms = 100;  // no deadline anywhere
+  const RunResult r = runtime::run_threads(prog, 4, opts);
+  ASSERT_TRUE(r.failure.has_value());
+  EXPECT_EQ(r.failure->kind, FailureRecord::Kind::kInjectedFault);
+  EXPECT_GE(r.counters.serve_watchdog_rescues, 1u);
+  EXPECT_EQ(r.counters.deadline_expirations, 0u);
+}
+#endif  // SELFSCHED_FAULT
+
+TEST(FaultWatchdog, ArmedIdleWatchdogIsBitIdenticalOnVtime) {
+  // A watchdog that never fires adds no engine ops: the armed run's vtime
+  // trajectory equals the unarmed one's bit for bit.
+  const auto prog = workloads::flat_doall(40, nullptr);
+  SchedOptions plain;
+  const RunResult base = runtime::run_vtime(prog, 4, plain);
+
+  SchedOptions armed;
+  armed.watchdog_stall_vcycles = 1'000'000'000;
+  const RunResult r = runtime::run_vtime(prog, 4, armed);
+  EXPECT_FALSE(r.failure.has_value());
+  EXPECT_EQ(r.makespan, base.makespan);
+  EXPECT_EQ(r.engine_ops, base.engine_ops);
+  EXPECT_EQ(r.counters.serve_watchdog_rescues, 0u);
+}
+
+TEST(FaultWatchdog, ClaimsTheRecordWhenNoRicherOneExists) {
+  // No injected fault: one body oversleeps the budget, so the watchdog
+  // itself wins the failure-record election and the result says kWatchdog.
+  const auto prog = workloads::flat_doall(
+      64, nullptr, [](ProcId, const IndexVec&, i64 j) {
+        // Loop indices are 1-based (paper numbering).
+        if (j == 1) std::this_thread::sleep_for(std::chrono::milliseconds(400));
+      });
+  SchedOptions opts;
+  opts.on_body_error = OnBodyError::kReturn;
+  opts.watchdog_stall_ms = 60;
+  const RunResult r = runtime::run_threads(prog, 4, opts);
+  ASSERT_TRUE(r.failure.has_value());
+  EXPECT_EQ(r.failure->kind, FailureRecord::Kind::kWatchdog);
+  EXPECT_NE(r.failure->message.find("watchdog"), std::string::npos);
+  EXPECT_GE(r.counters.serve_watchdog_rescues, 1u);
+}
 
 // ---------------------------------------------------------------- deadlines
 

@@ -6,11 +6,15 @@
 // behaviors one at a time.
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "baselines/sequential.hpp"
 #include "helpers.hpp"
+#include "runtime/fault.hpp"
 #include "serve/service.hpp"
 #include "workloads/programs.hpp"
 
@@ -255,6 +259,331 @@ TEST(Serve, DeterministicModeIsBitIdentical) {
         << "result " << i;
   }
 }
+
+// --- resilience layer (serve/resilience.hpp, docs/robustness.md) ---------
+
+std::shared_ptr<const program::NestedLoopProgram> shared_doall(
+    i64 n, program::BodyFn body = nullptr) {
+  return std::make_shared<const program::NestedLoopProgram>(
+      workloads::flat_doall(n, nullptr, std::move(body)));
+}
+
+program::BodyFn poison_body() {
+  return [](ProcId, const IndexVec&, i64) {
+    throw std::runtime_error("poison body");
+  };
+}
+
+TEST(ServeResilience, DefaultPolicyIsFullyDisabled) {
+  const serve::ResiliencePolicy pol;
+  EXPECT_FALSE(pol.any_enabled());
+  EXPECT_EQ(pol.max_retries, 0u);
+  EXPECT_EQ(pol.quarantine_failures, 0u);
+  EXPECT_EQ(pol.shed_watermark, 0u);
+  EXPECT_EQ(pol.watchdog_stall_ms, 0);
+  EXPECT_EQ(pol.watchdog_stall_vcycles, 0u);
+}
+
+#if SELFSCHED_FAULT
+TEST(ServeResilience, RetriedTransientFailureCompletesOracleExact) {
+  serve::ServeOptions so;
+  so.deterministic = true;
+  serve::Service svc(4, so);
+  const auto prog = shared_doall(40);
+
+  // Clean reference trajectory for the same program.
+  serve::SubmitOptions clean;
+  clean.tenant = 1;
+  auto ref = svc.submit(prog, clean);
+  ASSERT_TRUE(ref.accepted());
+  const auto base = ref.handle.await();
+  ASSERT_FALSE(base.failure.has_value());
+
+  // One injected body throw; the retry budget absorbs it.  The plan is
+  // not reset between attempts, so the retried run is unperturbed.
+  fault::FaultPlan plan;
+  plan.body_throw(kNoLoop, /*iteration=*/-1);
+  serve::SubmitOptions s;
+  s.tenant = 2;
+  s.sched.fault_plan = &plan;
+  serve::ResiliencePolicy pol;
+  pol.max_retries = 1;
+  s.resilience = pol;
+  auto out = svc.submit(prog, s);
+  ASSERT_TRUE(out.accepted());
+  const auto r = out.handle.await();
+  ASSERT_FALSE(r.failure.has_value());
+  EXPECT_EQ(r.counters.serve_retries, 1u);
+  EXPECT_EQ(plan.total_fired(), 1u);
+  // Oracle-exact: the final attempt's trajectory equals the clean run's.
+  EXPECT_EQ(r.total.iterations, base.total.iterations);
+  EXPECT_EQ(r.makespan, base.makespan);
+  EXPECT_EQ(r.schedule_decisions, base.schedule_decisions);
+
+  const auto c = svc.counters();
+  EXPECT_EQ(c.serve_retries, 1u);
+  // The submission appears once per attempt in the grant log.
+  u64 grants = 0;
+  for (const u64 seq : svc.grant_log()) {
+    if (seq == out.handle.id()) grants++;
+  }
+  EXPECT_EQ(grants, 2u);
+}
+#endif  // SELFSCHED_FAULT
+
+TEST(ServeResilience, RetryBudgetExhaustionIsAPermanentFailure) {
+  serve::ServeOptions so;
+  so.deterministic = true;
+  so.resilience.max_retries = 2;
+  so.resilience.retry_body_errors = true;
+  serve::Service svc(4, so);
+
+  auto out = svc.submit(shared_doall(20, poison_body()));
+  ASSERT_TRUE(out.accepted());
+  const auto r = out.handle.await();
+  ASSERT_TRUE(r.failure.has_value());
+  EXPECT_EQ(r.failure->kind, fault::FailureRecord::Kind::kBodyException);
+  EXPECT_EQ(r.counters.serve_retries, 2u);
+  EXPECT_EQ(svc.counters().serve_retries, 2u);
+
+  const auto health = svc.health_snapshot();
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].retries, 2u);
+  EXPECT_EQ(health[0].failures, 1u);
+  EXPECT_TRUE(health[0].has_failure);
+  EXPECT_EQ(health[0].last_failure,
+            fault::FailureRecord::Kind::kBodyException);
+}
+
+TEST(ServeResilience, QuarantineTripsRejectsAndReadmitsOnProbation) {
+  serve::ServeOptions so;
+  so.deterministic = true;
+  so.resilience.quarantine_failures = 2;
+  so.resilience.quarantine_cooldown_vcycles = 50;
+  serve::Service svc(4, so);
+
+  serve::SubmitOptions bad;
+  bad.tenant = 7;
+  serve::SubmitOptions neighbor;
+  neighbor.tenant = 1;
+
+  const auto fail_once = [&] {
+    auto out = svc.submit(shared_doall(20, poison_body()), bad);
+    ASSERT_TRUE(out.accepted());
+    const auto r = out.handle.await();
+    ASSERT_TRUE(r.failure.has_value());
+  };
+
+  fail_once();
+  fail_once();  // second failure in the window: the breaker trips
+  EXPECT_EQ(svc.counters().serve_quarantines, 1u);
+
+  // Cooldown running: structured rejection, nothing queued.
+  const auto rejected = svc.submit(shared_doall(20), bad);
+  EXPECT_EQ(rejected.status, serve::SubmitStatus::kQuarantined);
+  EXPECT_FALSE(rejected.handle.valid());
+
+  // A neighbor's grant advances virtual time past the cooldown.
+  svc.submit(shared_doall(200), neighbor).handle.await();
+
+  // Probationary readmission: exactly one probe at a time.
+  auto probe = svc.submit(shared_doall(20), bad);
+  ASSERT_TRUE(probe.accepted());
+  const auto crowded = svc.submit(shared_doall(20), bad);
+  EXPECT_EQ(crowded.status, serve::SubmitStatus::kQuarantined);
+  const auto pr = probe.handle.await();
+  EXPECT_FALSE(pr.failure.has_value());
+
+  // The successful probe closed the breaker and cleared the window.
+  auto healthy = svc.submit(shared_doall(20), bad);
+  ASSERT_TRUE(healthy.accepted());
+  healthy.handle.await();
+
+  // A FAILED probe must re-trip immediately, window or no window.
+  fail_once();
+  fail_once();
+  EXPECT_EQ(svc.counters().serve_quarantines, 2u);
+  svc.submit(shared_doall(200), neighbor).handle.await();
+  auto bad_probe = svc.submit(shared_doall(20, poison_body()), bad);
+  ASSERT_TRUE(bad_probe.accepted());
+  ASSERT_TRUE(bad_probe.handle.await().failure.has_value());
+  EXPECT_EQ(svc.counters().serve_quarantines, 3u);
+  EXPECT_EQ(svc.submit(shared_doall(20), bad).status,
+            serve::SubmitStatus::kQuarantined);
+
+  const auto health = svc.health_snapshot();
+  for (const auto& h : health) {
+    if (h.tenant != 7) continue;
+    EXPECT_EQ(h.state, serve::TenantState::kQuarantined);
+    EXPECT_EQ(h.quarantines, 3u);
+  }
+}
+
+TEST(ServeResilience, ShedVictimIsTheNewestLowestTierPendingWork) {
+  serve::ServeOptions so;
+  so.deterministic = true;
+  so.priorities = 2;
+  so.resilience.shed_watermark = 2;
+  serve::Service svc(4, so);
+
+  serve::SubmitOptions low;
+  low.priority = 1;
+  serve::SubmitOptions high;
+  high.priority = 0;
+
+  auto a = svc.submit(shared_doall(20), low);
+  auto b = svc.submit(shared_doall(20), low);
+  ASSERT_TRUE(a.accepted());
+  ASSERT_TRUE(b.accepted());
+
+  // At the watermark, a higher-tier arrival sheds the NEWEST queued entry
+  // of the lowest tier strictly below it — b, not a.
+  auto c = svc.submit(shared_doall(20), high);
+  ASSERT_TRUE(c.accepted());
+  const auto rb = b.handle.await();
+  ASSERT_TRUE(rb.failure.has_value());
+  EXPECT_EQ(rb.failure->kind, fault::FailureRecord::Kind::kShed);
+  EXPECT_EQ(svc.counters().serve_sheds, 1u);
+
+  // A lowest-tier arrival with no tier below it is itself refused.
+  const auto d = svc.submit(shared_doall(20), low);
+  EXPECT_EQ(d.status, serve::SubmitStatus::kShed);
+  EXPECT_FALSE(d.handle.valid());
+  EXPECT_EQ(svc.counters().serve_sheds, 2u);
+
+  // Survivors run to completion, high tier first.
+  EXPECT_FALSE(a.handle.await().failure.has_value());
+  EXPECT_FALSE(c.handle.await().failure.has_value());
+  const auto log = svc.grant_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], c.handle.id());
+  EXPECT_EQ(log[1], a.handle.id());
+}
+
+TEST(ServeResilience, DisabledPolicyMatchesTheDefaultServiceBitForBit) {
+  // Passing an all-disabled policy explicitly must not perturb the
+  // trajectory relative to never mentioning resilience at all.
+  const auto run_once = [](bool explicit_policy,
+                           std::vector<runtime::RunResult>& results) {
+    serve::ServeOptions so;
+    so.deterministic = true;
+    so.priorities = 2;
+    so.max_active = 2;
+    serve::Service svc(4, so);
+    std::vector<serve::Handle> handles;
+    for (u64 i = 0; i < 6; ++i) {
+      serve::SubmitOptions s;
+      s.tenant = i % 3;
+      s.priority = i % 2;
+      if (explicit_policy) s.resilience = serve::ResiliencePolicy{};
+      auto out = svc.submit(shared_random(700 + i), s);
+      EXPECT_TRUE(out.accepted());
+      handles.push_back(out.handle);
+    }
+    for (auto& h : handles) results.push_back(h.await());
+    return svc.grant_log();
+  };
+
+  std::vector<runtime::RunResult> a, b;
+  const std::vector<u64> log_a = run_once(false, a);
+  const std::vector<u64> log_b = run_once(true, b);
+  EXPECT_EQ(log_a, log_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].makespan, b[i].makespan) << "result " << i;
+    EXPECT_EQ(a[i].schedule_decisions, b[i].schedule_decisions)
+        << "result " << i;
+  }
+}
+
+#if SELFSCHED_FAULT
+TEST(ServeResilience, DetChaosTrajectoryReplaysBitIdentically) {
+  // A miniature of tools/serve_chaos --deterministic --replay-check: mixed
+  // flavors (clean / injected throw / indefinite stall / poison), retries,
+  // watchdog rescues, quarantine and shedding — the full trajectory must
+  // be a pure function of the configuration.
+  struct Mini {
+    std::vector<std::string> statuses;
+    std::vector<u64> grants;
+    std::vector<runtime::RunResult> results;
+    trace::Counters counters;
+  };
+  const auto run_once = [](Mini& m) {
+    serve::ServeOptions so;
+    so.deterministic = true;
+    so.priorities = 2;
+    so.resilience.max_retries = 1;
+    so.resilience.retry_body_errors = true;
+    so.resilience.watchdog_stall_vcycles = 20'000;
+    so.resilience.quarantine_failures = 2;
+    so.resilience.quarantine_cooldown_vcycles = 100;
+    so.resilience.shed_watermark = 6;
+    serve::Service svc(4, so);
+
+    std::vector<std::unique_ptr<fault::FaultPlan>> plans;
+    std::deque<serve::Handle> window;
+    for (u64 i = 0; i < 16; ++i) {
+      serve::SubmitOptions s;
+      s.tenant = i % 3;
+      s.priority = i % 2;
+      auto plan = std::make_unique<fault::FaultPlan>();
+      program::BodyFn body;
+      switch (i % 4) {
+        case 0: plan->body_throw(kNoLoop, -1); break;
+        case 1: plan->worker_stall(kNoLoop, -1, /*cycles=*/0); break;
+        case 2: body = poison_body(); break;
+        default: break;
+      }
+      s.sched.fault_plan = plan.get();
+      plans.push_back(std::move(plan));
+      auto out = svc.submit(shared_doall(20 + 7 * static_cast<i64>(i),
+                                         std::move(body)),
+                            s);
+      m.statuses.push_back(serve::submit_status_name(out.status));
+      if (!out.accepted()) continue;
+      window.push_back(out.handle);
+      if (window.size() >= 8) {
+        m.results.push_back(window.front().await());
+        window.pop_front();
+      }
+    }
+    while (!window.empty()) {
+      m.results.push_back(window.front().await());
+      window.pop_front();
+    }
+    svc.stop();
+    m.grants = svc.grant_log();
+    m.counters = svc.counters();
+  };
+
+  Mini a, b;
+  run_once(a);
+  run_once(b);
+
+  // The chaos actually exercised the machinery...
+  EXPECT_GT(a.counters.serve_retries, 0u);
+  EXPECT_GT(a.counters.serve_watchdog_rescues, 0u);
+  EXPECT_GT(a.counters.serve_sheds, 0u);
+
+  // ...and replays bit-identically, counters included.
+  EXPECT_EQ(a.statuses, b.statuses);
+  EXPECT_EQ(a.grants, b.grants);
+  trace::Counters::for_each_field([&](const char* name,
+                                      u64 trace::Counters::* f) {
+    EXPECT_EQ(a.counters.*f, b.counters.*f) << "counter " << name;
+  });
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].makespan, b.results[i].makespan) << i;
+    EXPECT_EQ(a.results[i].counters.serve_retries,
+              b.results[i].counters.serve_retries)
+        << i;
+    EXPECT_EQ(a.results[i].schedule_decisions,
+              b.results[i].schedule_decisions)
+        << i;
+  }
+}
+#endif  // SELFSCHED_FAULT
 
 }  // namespace
 }  // namespace selfsched

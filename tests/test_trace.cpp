@@ -281,7 +281,7 @@ TEST(Counters, FieldNamesAreUnique) {
   std::set<std::string> names;
   trace::Counters::for_each_field(
       [&](const char* name, u64 trace::Counters::*) { names.insert(name); });
-  EXPECT_EQ(names.size(), 27u);
+  EXPECT_EQ(names.size(), 31u);
 }
 
 TEST(Recorder, FoldsCountersAcrossWorkerSlots) {
@@ -518,7 +518,7 @@ TEST(TraceExport, CountersReportIsOneLinePerField) {
     if (line == "dispatches=42") saw_dispatches = true;
     EXPECT_NE(line.find('='), std::string::npos);
   }
-  EXPECT_EQ(lines, 27u);
+  EXPECT_EQ(lines, 31u);
   EXPECT_TRUE(saw_dispatches);
 }
 
@@ -542,7 +542,7 @@ TEST(TraceExport, JsonReportParsesAndCarriesTheMetrics) {
   EXPECT_EQ(root.find("makespan")->num, static_cast<double>(r.makespan));
   const JValue* counters = root.find("counters");
   ASSERT_NE(counters, nullptr);
-  EXPECT_EQ(counters->obj.size(), 27u);
+  EXPECT_EQ(counters->obj.size(), 31u);
   EXPECT_EQ(root.find("ops")->find("dispatches")->num,
             static_cast<double>(r.total.dispatches));
 }

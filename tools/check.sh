@@ -45,6 +45,16 @@
 #                                  # under TSan, then under ASan with the
 #                                  # fairness report written to
 #                                  # serve_fairness.json
+#   tools/check.sh --resilience    # self-healing serve suite (ISSUE 10):
+#                                  # the ServeResilience/FaultWatchdog/
+#                                  # Backoff-jitter tests plus the full
+#                                  # serve-chaos run (224 mixed-priority
+#                                  # programs under seeded body-throw +
+#                                  # worker-stall injection, all audited)
+#                                  # under TSan, then the audited ASan
+#                                  # chaos run with the recovery report
+#                                  # written to serve_chaos.json, then the
+#                                  # deterministic replay check
 #   tools/check.sh --label unit    # restrict ctest to one tier
 #                                  # (unit | stress | explore; repeatable
 #                                  #  via ctest's -L regex semantics)
@@ -60,6 +70,7 @@ EXPLORE=0
 AUDIT=0
 FAULTS=0
 SERVE=0
+RESILIENCE=0
 ADAPTIVE=0
 SHARD=0
 HOTPATH=0
@@ -71,13 +82,14 @@ while [[ $# -gt 0 ]]; do
     --audit) AUDIT=1; shift ;;
     --faults) FAULTS=1; shift ;;
     --serve) SERVE=1; shift ;;
+    --resilience) RESILIENCE=1; shift ;;
     --adaptive) ADAPTIVE=1; shift ;;
     --shard) SHARD=1; shift ;;
     --hotpath) HOTPATH=1; shift ;;
     --label) LABEL="${2:?--label needs an argument}"; shift 2 ;;
     *) echo "usage: tools/check.sh [--fast] [--explore] [--audit]" \
-            "[--faults] [--serve] [--adaptive] [--shard] [--hotpath]" \
-            "[--label TIER]" >&2
+            "[--faults] [--serve] [--resilience] [--adaptive] [--shard]" \
+            "[--hotpath] [--label TIER]" >&2
        exit 2 ;;
   esac
 done
@@ -85,7 +97,12 @@ done
 # The fault-suite test filter: the fault tests themselves plus the suites
 # that exercise cancellation-adjacent machinery (teardown spins, Doacross
 # waits, the thread team's exception path).
-FAULT_TESTS='FaultBody|FaultInject|FaultDeadline|FaultDrain|FaultReplay|FaultHooks|FaultDoacross|AuditCancel|ThreadTeam'
+FAULT_TESTS='FaultBody|FaultInject|FaultDeadline|FaultDrain|FaultReplay|FaultHooks|FaultDoacross|FaultWatchdog|AuditCancel|ThreadTeam'
+
+# The resilience filter: the serve recovery state machine (retry /
+# quarantine / shed), the stall watchdog, and the seeded-jitter backoff
+# the retry scheduler draws from.
+RESILIENCE_TESTS='ServeResilience|FaultWatchdog|Backoff|Serve\.'
 
 # The adaptive-conformance filter: the portfolio's closed-form oracle units
 # (Strategy*), the tuner suite (Adaptive*/PortfolioSweep), the completion-
@@ -189,6 +206,31 @@ if [[ "$SERVE" == 1 ]]; then
   ./build-asan/tests/test_serve
   ./build-asan/tools/serve-stress --json serve_fairness.json
   echo "== OK (serve) =="
+  exit 0
+fi
+
+if [[ "$RESILIENCE" == 1 ]]; then
+  # serve-chaos arms every submission with audit on, so both sanitizer
+  # passes run fully audited; the harness itself asserts terminal states,
+  # oracle-exact retries, quarantine/shed engagement and healthy-tenant
+  # fairness.
+  echo "== resilience: TSan build, recovery suite + chaos =="
+  cmake -B build-tsan -S . -DSELFSCHED_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS" --target test_serve test_fault \
+      test_sync serve-chaos
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
+      -R "$RESILIENCE_TESTS")
+  ./build-tsan/tools/serve-chaos
+  echo "== resilience: ASan build, audited chaos + recovery report =="
+  cmake -B build-asan -S . -DSELFSCHED_SANITIZE=address
+  cmake --build build-asan -j "$JOBS" --target test_serve test_fault \
+      test_sync serve-chaos
+  (cd build-asan && SELFSCHED_AUDIT=1 ctest --output-on-failure -j "$JOBS" \
+      -R "$RESILIENCE_TESTS")
+  ./build-asan/tools/serve-chaos --json serve_chaos.json
+  echo "== resilience: deterministic chaos replay =="
+  ./build-asan/tools/serve-chaos --deterministic --replay-check
+  echo "== OK (resilience) =="
   exit 0
 fi
 

@@ -48,6 +48,19 @@ void usage(const char* argv0, std::FILE* out) {
       "                       synchronous, whole-program, bit-replayable;\n"
       "                       prints the grant log\n"
       "\n"
+      "resilience (service default policy; docs/robustness.md):\n"
+      "  --max-retries N      retry budget for transient failures\n"
+      "                       (default 0 = retries off)\n"
+      "  --watchdog-ms N      stall watchdog: rescue a namespace that makes\n"
+      "                       no progress for N ms (threads mode; vcycles\n"
+      "                       in deterministic mode; default 0 = off)\n"
+      "  --quarantine-failures N  trip the tenant circuit breaker after N\n"
+      "                       failures inside the sliding window (default\n"
+      "                       0 = breaker off)\n"
+      "  --quarantine-window MS   sliding failure window (default 1000)\n"
+      "  --shed-watermark N   queue depth at which admission sheds the\n"
+      "                       lowest-priority pending work (default 0 = off)\n"
+      "\n"
       "per-submission (apply to the program files that follow):\n"
       "  --tenant ID          tenant namespace id (default 0)\n"
       "  --priority P         tier, 0 = highest (default 0)\n"
@@ -57,7 +70,9 @@ void usage(const char* argv0, std::FILE* out) {
       "  --param NAME=VALUE   bind a named constant (repeatable)\n"
       "\n"
       "output:\n"
-      "  --counters           print the service counters (name=value)\n",
+      "  --counters           print the service counters (name=value)\n"
+      "  --json               print one JSON report (results, tenants,\n"
+      "                       counters, resilience health) to stdout\n",
       argv0);
 }
 
@@ -73,6 +88,11 @@ int main(int argc, char** argv) {
   serve::SubmitOptions cur;  // sticky per-submission state
   u32 repeat = 1;
   bool show_counters = false;
+  bool show_json = false;
+  // Time-valued resilience knobs land on _ms or _vcycles depending on the
+  // engine, and --deterministic may appear after them — stage, apply last.
+  u64 watchdog = 0, quarantine_window = 0;
+  bool have_quarantine_window = false;
   lang::ParseOptions popts;
 
   struct Staged {
@@ -108,6 +128,18 @@ int main(int argc, char** argv) {
       sopts.slice_us = static_cast<i64>(parse_u64(next()));
     } else if (arg == "--deterministic") {
       sopts.deterministic = true;
+    } else if (arg == "--max-retries") {
+      sopts.resilience.max_retries = static_cast<u32>(parse_u64(next()));
+    } else if (arg == "--watchdog-ms") {
+      watchdog = parse_u64(next());
+    } else if (arg == "--quarantine-failures") {
+      sopts.resilience.quarantine_failures =
+          static_cast<u32>(parse_u64(next()));
+    } else if (arg == "--quarantine-window") {
+      quarantine_window = parse_u64(next());
+      have_quarantine_window = true;
+    } else if (arg == "--shed-watermark") {
+      sopts.resilience.shed_watermark = static_cast<u32>(parse_u64(next()));
     } else if (arg == "--tenant") {
       cur.tenant = parse_u64(next());
     } else if (arg == "--priority") {
@@ -131,6 +163,8 @@ int main(int argc, char** argv) {
           std::strtoll(kv.c_str() + eq + 1, nullptr, 10);
     } else if (arg == "--counters") {
       show_counters = true;
+    } else if (arg == "--json") {
+      show_json = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
       return 2;
@@ -147,6 +181,18 @@ int main(int argc, char** argv) {
   if (procs < 1) {
     std::fprintf(stderr, "--procs must be >= 1\n");
     return 2;
+  }
+  if (sopts.deterministic) {
+    sopts.resilience.watchdog_stall_vcycles = watchdog;
+    if (have_quarantine_window) {
+      sopts.resilience.quarantine_window_vcycles = quarantine_window;
+    }
+  } else {
+    sopts.resilience.watchdog_stall_ms = static_cast<i64>(watchdog);
+    if (have_quarantine_window) {
+      sopts.resilience.quarantine_window_ms =
+          static_cast<i64>(quarantine_window);
+    }
   }
 
   serve::Service svc(procs, sopts);
@@ -184,6 +230,8 @@ int main(int argc, char** argv) {
   }
 
   int rc = 0;
+  std::vector<runtime::RunResult> results;
+  results.reserve(pending.size());
   for (Pending& p : pending) {
     const runtime::RunResult r = p.handle.await();
     if (r.failure.has_value()) {
@@ -194,13 +242,15 @@ int main(int argc, char** argv) {
       rc = 3;
     } else {
       std::printf("%s [sub %llu, tenant %llu]: ok, %llu iterations, "
-                  "makespan %llu\n",
+                  "makespan %llu%s\n",
                   p.label.c_str(),
                   static_cast<unsigned long long>(p.handle.id()),
                   static_cast<unsigned long long>(p.handle.tenant()),
                   static_cast<unsigned long long>(r.total.iterations),
-                  static_cast<unsigned long long>(r.makespan));
+                  static_cast<unsigned long long>(r.makespan),
+                  r.counters.serve_retries > 0 ? " (retried)" : "");
     }
+    results.push_back(r);
   }
   svc.stop();
 
@@ -222,10 +272,102 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  const std::vector<serve::TenantHealthRow> health = svc.health_snapshot();
+  if (sopts.resilience.any_enabled() && !health.empty()) {
+    std::printf("health:\n");
+    for (const serve::TenantHealthRow& h : health) {
+      std::printf("  tenant %llu: %s%s, %llu retries, %llu failures%s%s%s, "
+                  "%llu completions, %llu quarantines, %llu sheds\n",
+                  static_cast<unsigned long long>(h.tenant),
+                  serve::tenant_state_name(h.state),
+                  h.retrying   ? " (retrying)"
+                  : h.in_flight ? " (active)"
+                                : "",
+                  static_cast<unsigned long long>(h.retries),
+                  static_cast<unsigned long long>(h.failures),
+                  h.has_failure ? " (last " : "",
+                  h.has_failure
+                      ? fault::FailureRecord::kind_name(h.last_failure)
+                      : "",
+                  h.has_failure ? ")" : "",
+                  static_cast<unsigned long long>(h.completions),
+                  static_cast<unsigned long long>(h.quarantines),
+                  static_cast<unsigned long long>(h.sheds));
+    }
+  }
   if (show_counters) {
     std::ostringstream cs;
     trace::write_counters(svc.counters(), cs);
     std::printf("%s", cs.str().c_str());
+  }
+  if (show_json) {
+    const trace::Counters counters = svc.counters();
+    const serve::ResiliencePolicy& pol = sopts.resilience;
+    std::printf("{\n  \"results\": [");
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const runtime::RunResult& r = results[i];
+      std::printf(
+          "%s\n    {\"sub\": %llu, \"tenant\": %llu, \"ok\": %s, "
+          "\"retries\": %llu, \"iterations\": %llu, \"makespan\": %llu%s%s%s}",
+          i ? "," : "",
+          static_cast<unsigned long long>(pending[i].handle.id()),
+          static_cast<unsigned long long>(pending[i].handle.tenant()),
+          r.failure.has_value() ? "false" : "true",
+          static_cast<unsigned long long>(r.counters.serve_retries),
+          static_cast<unsigned long long>(r.total.iterations),
+          static_cast<unsigned long long>(r.makespan),
+          r.failure.has_value() ? ", \"failure\": \"" : "",
+          r.failure.has_value()
+              ? fault::FailureRecord::kind_name(r.failure->kind)
+              : "",
+          r.failure.has_value() ? "\"" : "");
+    }
+    std::printf("\n  ],\n  \"counters\": {");
+    bool first = true;
+    trace::Counters::for_each_field([&](const char* name,
+                                        u64 trace::Counters::* m) {
+      std::printf("%s\n    \"%s\": %llu", first ? "" : ",", name,
+                  static_cast<unsigned long long>(counters.*m));
+      first = false;
+    });
+    std::printf(
+        "\n  },\n  \"resilience\": {\n"
+        "    \"policy\": {\"max_retries\": %u, \"watchdog_stall_%s\": %llu, "
+        "\"quarantine_failures\": %u, \"quarantine_window_%s\": %llu, "
+        "\"shed_watermark\": %u},\n"
+        "    \"health\": [",
+        pol.max_retries, sopts.deterministic ? "vcycles" : "ms",
+        static_cast<unsigned long long>(
+            sopts.deterministic ? pol.watchdog_stall_vcycles
+                                : static_cast<u64>(pol.watchdog_stall_ms)),
+        pol.quarantine_failures, sopts.deterministic ? "vcycles" : "ms",
+        static_cast<unsigned long long>(
+            sopts.deterministic
+                ? pol.quarantine_window_vcycles
+                : static_cast<u64>(pol.quarantine_window_ms)),
+        pol.shed_watermark);
+    for (std::size_t i = 0; i < health.size(); ++i) {
+      const serve::TenantHealthRow& h = health[i];
+      std::printf(
+          "%s\n      {\"tenant\": %llu, \"state\": \"%s\", "
+          "\"in_flight\": %s, \"retrying\": %s, \"retries\": %llu, "
+          "\"failures\": %llu, \"completions\": %llu, "
+          "\"quarantines\": %llu, \"sheds\": %llu%s%s%s}",
+          i ? "," : "", static_cast<unsigned long long>(h.tenant),
+          serve::tenant_state_name(h.state), h.in_flight ? "true" : "false",
+          h.retrying ? "true" : "false",
+          static_cast<unsigned long long>(h.retries),
+          static_cast<unsigned long long>(h.failures),
+          static_cast<unsigned long long>(h.completions),
+          static_cast<unsigned long long>(h.quarantines),
+          static_cast<unsigned long long>(h.sheds),
+          h.has_failure ? ", \"last_failure\": \"" : "",
+          h.has_failure
+              ? fault::FailureRecord::kind_name(h.last_failure)
+              : "",
+          h.has_failure ? "\"" : "");
+    }
+    std::printf("\n    ]\n  }\n}\n");
   }
   return rc;
 }

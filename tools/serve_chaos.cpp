@@ -1,0 +1,785 @@
+// serve-chaos: deterministic chaos harness for the serve daemon's
+// resilience layer (docs/robustness.md).  Mixed-priority programs from
+// "chaotic" tenants carry seeded fault injections — body throws, indefinite
+// worker stalls (rescued by the stall watchdog), poison bodies that throw
+// on every attempt — while "healthy" tenants run identical clean workloads
+// alongside.  The harness proves:
+//
+//   * every submission reaches a terminal state: completed (possibly after
+//     retries), permanent failure (retry budget exhausted), or shed — no
+//     hangs;
+//   * retried completions are oracle-exact: the iteration set executed by
+//     the final attempt equals the sequential oracle's (failed attempts
+//     may only add bounded duplicates, never new or missing iterations);
+//   * terminal failures are only the expected kinds (kBodyException from
+//     poison programs, kShed for overload victims), and shed victims come
+//     only from tiers strictly below some arrival;
+//   * the quarantine breaker trips, rejects, and readmits on probation;
+//   * healthy tenants' granted-cycle fairness holds within the serve
+//     fairness bound despite the chaos next door;
+//   * zero audit violations anywhere;
+//   * --deterministic: the whole chaos trajectory (grant log, retries,
+//     sheds, quarantines, per-result decision traces) is a pure function
+//     of the configuration — --replay-check runs it twice and compares.
+//
+// Exit codes: 0 all checks passed, 1 any violation, 2 usage.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "baselines/sequential.hpp"
+#include "serve/service.hpp"
+#include "workloads/programs.hpp"
+
+using namespace selfsched;
+
+namespace {
+
+/// Same dependent-recurrence spin as serve-stress: every body burns equal
+/// CPU so healthy tenants' granted-cycle totals compare workload, not luck.
+constexpr u64 kBodySpinRounds = 4000;
+
+void body_spin(u64 x) {
+  for (u64 i = 0; i < kBodySpinRounds; ++i) x = x * 0xd1342543de82ef95ULL + 1;
+  volatile u64 sink = x;
+  (void)sink;
+}
+
+/// What a chaotic tenant's k-th program injects.
+enum class Flavor : u32 {
+  kClean,      // nothing armed (also the probation probe that readmits)
+  kBodyThrow,  // one injected body throw -> transient -> retried
+  kStall,      // one indefinite worker stall -> watchdog rescue -> retried
+  kPoison,     // body throws on EVERY attempt -> retry budget exhausted
+};
+
+Flavor flavor_for(u64 k) {
+  switch (k % 4) {
+    case 0: return Flavor::kBodyThrow;
+    case 1: return Flavor::kStall;
+    case 2: return Flavor::kPoison;
+    default: return Flavor::kClean;
+  }
+}
+
+const char* flavor_name(Flavor f) {
+  switch (f) {
+    case Flavor::kClean: return "clean";
+    case Flavor::kBodyThrow: return "body-throw";
+    case Flavor::kStall: return "stall";
+    case Flavor::kPoison: return "poison";
+  }
+  return "?";
+}
+
+/// Thread-safe iteration recorder.  Unlike serve-stress's, verification is
+/// retry-aware: a failed attempt executes a SUBSET of the oracle's
+/// iterations before cancellation propagates, and the retried attempt
+/// executes them all, so the recorded multiset is the oracle set plus
+/// bounded duplicates.  Each key (leaf, indices, j) identifies one
+/// iteration instance, so the oracle multiset is duplicate-free and the
+/// check is: dedup(recorded) == oracle, duplicates only when attempts > 0,
+/// and no key repeated more than attempts extra times.
+struct Recorder {
+  using Key = std::tuple<std::string, std::vector<i64>, i64>;
+
+  program::BodyFactory factory(bool spin, bool poison) {
+    return [this, spin, poison](const std::string& name) -> program::BodyFn {
+      return [this, spin, poison, name](ProcId, const IndexVec& ivec, i64 j) {
+        if (poison) throw std::runtime_error("poison body");
+        if (spin) body_spin(static_cast<u64>(j) + ivec.size());
+        std::vector<i64> iv(ivec.begin(), ivec.end());
+        std::lock_guard lk(mu);
+        seen.emplace_back(name, std::move(iv), j);
+      };
+    };
+  }
+
+  std::vector<Key> canonical(const program::NestedLoopProgram& prog) const {
+    std::vector<Key> out;
+    std::lock_guard lk(mu);
+    out.reserve(seen.size());
+    for (const auto& [name, iv, j] : seen) {
+      Level depth = 0;
+      for (u32 i = 0; i < prog.num_loops(); ++i) {
+        if (prog.loop(i).name == name) {
+          depth = prog.loop(i).depth;
+          break;
+        }
+      }
+      std::vector<i64> trimmed(
+          iv.begin(), iv.begin() + std::min<std::size_t>(iv.size(), depth));
+      out.emplace_back(name, std::move(trimmed), j);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  mutable std::mutex mu;
+  std::vector<Key> seen;
+};
+
+workloads::RandomProgramConfig config_for(u64 seed) {
+  workloads::RandomProgramConfig cfg;
+  cfg.max_depth = 2 + static_cast<u32>(seed % 2);
+  cfg.max_bound = 2 + static_cast<i64>(seed % 3);
+  cfg.max_leaf_bound = 3 + static_cast<i64>(seed % 6);
+  cfg.max_body_cost = 20 + (seed % 60);
+  return cfg;
+}
+
+struct Config {
+  u32 procs = 8;
+  u32 submitters = 8;
+  u32 programs = 224;
+  u32 tenants = 8;  // first half chaotic (tier 1), second half healthy (0)
+  u32 max_queue = 32;
+  u32 max_active = 3;
+  i64 slice_us = 200;
+  u64 seed = 1987;
+  double fairness_tol = 0.20;
+  bool check_fairness = true;
+  bool deterministic = false;
+  bool replay_check = false;
+  std::string json_path;
+};
+
+serve::ResiliencePolicy policy_for(const Config& c) {
+  serve::ResiliencePolicy pol;
+  pol.max_retries = 2;
+  pol.retry_jitter_seed = c.seed;
+  pol.retry_body_errors = true;  // poison programs burn the whole budget
+  pol.quarantine_failures = 2;
+  pol.shed_watermark = c.max_queue / 2;
+  if (c.deterministic) {
+    pol.watchdog_stall_vcycles = 200'000;
+    pol.retry_backoff_vcycles = 10'000;
+    pol.retry_backoff_cap_vcycles = 100'000;
+    pol.quarantine_window_vcycles = 50'000'000;
+    pol.quarantine_cooldown_vcycles = 200'000;
+  } else {
+    pol.watchdog_stall_ms = 100;
+    pol.retry_backoff_us = 200;
+    pol.retry_backoff_cap_us = 5'000;
+    pol.quarantine_window_ms = 10'000;
+    pol.quarantine_cooldown_ms = 50;
+  }
+  return pol;
+}
+
+void usage(const char* argv0, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s [options]\n"
+      "  --procs N          worker pool size / simulated procs (default 8)\n"
+      "  --submitters N     submitter threads, threads mode (default 8)\n"
+      "  --programs N       total programs, rounded up to a tenant multiple\n"
+      "                     (default 224)\n"
+      "  --tenants N        even tenant count; first half chaotic at tier 1,\n"
+      "                     second half healthy at tier 0 (default 8)\n"
+      "  --max-queue N      admission queue depth (default 32; the shed\n"
+      "                     watermark is half of it)\n"
+      "  --max-active N     concurrent namespaces (default 3)\n"
+      "  --slice-us N       slice budget (default 200)\n"
+      "  --seed S           base seed for programs, faults and jitter\n"
+      "  --fairness-tol F   healthy-tenant granted spread bound (default "
+      "0.20)\n"
+      "  --no-fairness      report fairness without asserting it\n"
+      "  --deterministic    virtual-time mode: single-threaded, replayable\n"
+      "  --replay-check     (with --deterministic) run twice, compare the\n"
+      "                     full trajectory bit-for-bit\n"
+      "  --json FILE        write the chaos report as JSON\n",
+      argv0);
+}
+
+struct Tally {
+  u64 completed = 0;
+  u64 completed_retried = 0;
+  u64 terminal_body_error = 0;
+  u64 terminal_shed = 0;
+  u64 rejected_shed = 0;
+  u64 rejected_quarantined = 0;
+};
+
+struct Failure {
+  std::string what;
+};
+
+/// Everything one deterministic pass produces, for the replay comparison.
+struct Trajectory {
+  std::vector<u64> grant_log;
+  // (submission idx, submit status, failure kind or "ok", makespan,
+  //  retries, decision count) per program, in submission order.
+  std::vector<std::tuple<u32, std::string, std::string, u64, u64, u64>>
+      outcomes;
+  std::vector<runtime::RunResult> results;  // completed/failed awaits only
+  trace::Counters counters;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config c;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0], stdout);
+      return 0;
+    } else if (arg == "--procs") {
+      c.procs = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--submitters") {
+      c.submitters = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--programs") {
+      c.programs = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--tenants") {
+      c.tenants = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--max-queue") {
+      c.max_queue = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--max-active") {
+      c.max_active = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--slice-us") {
+      c.slice_us = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      c.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fairness-tol") {
+      c.fairness_tol = std::strtod(next(), nullptr);
+    } else if (arg == "--no-fairness") {
+      c.check_fairness = false;
+    } else if (arg == "--deterministic") {
+      c.deterministic = true;
+    } else if (arg == "--replay-check") {
+      c.replay_check = true;
+    } else if (arg == "--json") {
+      c.json_path = next();
+    } else {
+      std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (c.procs < 1 || c.submitters < 1 || c.tenants < 2 ||
+      c.tenants % 2 != 0) {
+    std::fprintf(stderr, "need procs/submitters >= 1, even tenants >= 2\n");
+    return 2;
+  }
+  if (c.replay_check && !c.deterministic) {
+    std::fprintf(stderr, "--replay-check requires --deterministic\n");
+    return 2;
+  }
+  c.programs = ((c.programs + c.tenants - 1) / c.tenants) * c.tenants;
+  const u32 chaotic = c.tenants / 2;  // tenants [0, chaotic) inject faults
+
+  std::mutex fail_mu;
+  std::vector<Failure> failures;
+  auto fail = [&](std::string what) {
+    std::lock_guard lk(fail_mu);
+    failures.push_back({std::move(what)});
+  };
+
+  // Seed scheme: healthy tenants' programs depend on k ONLY, so every
+  // healthy tenant runs the identical set and tier-0 granted totals are
+  // directly comparable.  Chaotic programs are distinct per (tenant, k).
+  const auto seed_for = [&](u64 tenant, u64 k) -> u64 {
+    return tenant < chaotic ? c.seed + 1000 * (tenant + 1) + k
+                            : c.seed * 77 + k;
+  };
+
+  // One in-flight chaos submission: program + recorder + fault plan must
+  // outlive every retry attempt (the plan is deliberately NOT reset across
+  // attempts — fired exactly-once specs stay fired, which is what makes
+  // the retried run oracle-exact).
+  struct InFlight {
+    u32 idx = 0;
+    u64 tenant = 0;
+    u64 seed = 0;
+    Flavor flavor = Flavor::kClean;
+    std::unique_ptr<Recorder> rec;
+    std::unique_ptr<fault::FaultPlan> plan;
+    std::shared_ptr<const program::NestedLoopProgram> prog;
+    serve::Handle handle;
+  };
+
+  const auto build = [&](u32 idx) -> InFlight {
+    InFlight f;
+    f.idx = idx;
+    f.tenant = idx % c.tenants;
+    const u64 k = idx / c.tenants;
+    f.seed = seed_for(f.tenant, k);
+    f.flavor = f.tenant < chaotic ? flavor_for(k) : Flavor::kClean;
+    f.rec = std::make_unique<Recorder>();
+    f.prog = std::make_shared<const program::NestedLoopProgram>(
+        workloads::random_program(
+            f.seed, config_for(f.seed),
+            f.rec->factory(/*spin=*/!c.deterministic,
+                           /*poison=*/f.flavor == Flavor::kPoison)));
+    // Wildcard loop + iteration: fire on the first body point any worker
+    // reaches (random programs don't guarantee loop 0 has a body, and
+    // iteration numbering is program-shaped).  The CAS election in the
+    // plan still makes each spec fire exactly once.
+    if (f.flavor == Flavor::kBodyThrow) {
+      f.plan = std::make_unique<fault::FaultPlan>();
+      f.plan->body_throw(kNoLoop, /*iteration=*/-1);
+    } else if (f.flavor == Flavor::kStall) {
+      f.plan = std::make_unique<fault::FaultPlan>();
+      f.plan->worker_stall(kNoLoop, /*iteration=*/-1, /*cycles=*/0);
+    }
+    return f;
+  };
+
+  Tally tally;
+  std::mutex tally_mu;
+
+  // The iteration set a sequential execution of f's program produces.
+  const auto oracle_keys = [&](const InFlight& f) {
+    Recorder oracle;
+    const program::NestedLoopProgram serial = workloads::random_program(
+        f.seed, config_for(f.seed),
+        oracle.factory(/*spin=*/false, /*poison=*/false));
+    baselines::run_sequential(serial, /*default_body_cost=*/1,
+                              /*call_bodies=*/true);
+    return oracle.canonical(serial);
+  };
+
+  // Retry-aware oracle verification (see Recorder comment).
+  const auto verify_completion = [&](const InFlight& f,
+                                     const runtime::RunResult& r) {
+    const u64 attempts = r.counters.serve_retries;
+    const std::vector<Recorder::Key> want = oracle_keys(f);
+    const std::vector<Recorder::Key> got = f.rec->canonical(*f.prog);
+    std::vector<Recorder::Key> unique = got;
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    if (unique != want) {
+      fail("program " + std::to_string(f.idx) + " (seed " +
+           std::to_string(f.seed) + ", " + flavor_name(f.flavor) +
+           "): executed iteration set diverges from the sequential oracle");
+      return;
+    }
+    if (attempts == 0 && got.size() != want.size()) {
+      fail("program " + std::to_string(f.idx) +
+           ": duplicate iterations without any retry");
+      return;
+    }
+    // A key may repeat at most once per failed attempt.
+    u64 worst = 0;
+    for (std::size_t i = 0; i < got.size();) {
+      std::size_t j = i;
+      while (j < got.size() && got[j] == got[i]) ++j;
+      worst = std::max<u64>(worst, j - i - 1);
+      i = j;
+    }
+    if (worst > attempts) {
+      fail("program " + std::to_string(f.idx) + ": an iteration ran " +
+           std::to_string(worst + 1) + " times across " +
+           std::to_string(attempts + 1) + " attempts");
+    }
+  };
+
+  const auto verify = [&](InFlight& f) {
+    const runtime::RunResult r = f.handle.await();
+    if (r.audit_violations != 0) {
+      fail("program " + std::to_string(f.idx) + ": " +
+           std::to_string(r.audit_violations) + " audit violations:\n" +
+           r.audit_report);
+      return;
+    }
+    if (!r.failure.has_value()) {
+      // Random programs can be zero-trip: no body ever executes, so a
+      // poison body never fires and clean completion is correct there.
+      if (f.flavor == Flavor::kPoison && !oracle_keys(f).empty()) {
+        fail("program " + std::to_string(f.idx) +
+             ": poison program completed without failing");
+        return;
+      }
+      verify_completion(f, r);
+      std::lock_guard lk(tally_mu);
+      tally.completed++;
+      if (r.counters.serve_retries > 0) tally.completed_retried++;
+      return;
+    }
+    switch (r.failure->kind) {
+      case fault::FailureRecord::Kind::kBodyException:
+        if (f.flavor != Flavor::kPoison) {
+          fail("program " + std::to_string(f.idx) + " (" +
+               flavor_name(f.flavor) +
+               "): unexpected terminal body exception: " +
+               r.failure->summary());
+          return;
+        }
+        if (r.counters.serve_retries != policy_for(c).max_retries) {
+          fail("program " + std::to_string(f.idx) +
+               ": poison terminal after " +
+               std::to_string(r.counters.serve_retries) +
+               " retries, expected the whole budget");
+          return;
+        }
+        {
+          std::lock_guard lk(tally_mu);
+          tally.terminal_body_error++;
+        }
+        return;
+      case fault::FailureRecord::Kind::kShed:
+        if (f.tenant >= chaotic) {
+          fail("program " + std::to_string(f.idx) +
+               ": a tier-0 healthy submission was shed");
+          return;
+        }
+        {
+          std::lock_guard lk(tally_mu);
+          tally.terminal_shed++;
+        }
+        return;
+      default:
+        fail("program " + std::to_string(f.idx) + " (" +
+             flavor_name(f.flavor) + "): unexpected terminal failure " +
+             r.failure->summary());
+        return;
+    }
+  };
+
+  serve::ServeOptions sopts;
+  sopts.priorities = 2;
+  sopts.max_queue_depth = c.max_queue;
+  sopts.max_tenants = c.tenants;
+  sopts.max_active = c.max_active;
+  sopts.slice_us = c.slice_us;
+  sopts.deterministic = c.deterministic;
+  sopts.resilience = policy_for(c);
+
+  const auto submit_opts = [&](const InFlight& f) {
+    serve::SubmitOptions s;
+    s.tenant = f.tenant;
+    s.priority = f.tenant < chaotic ? 1u : 0u;
+    s.sched.audit = true;
+    s.sched.default_body_cost = 1;
+    s.sched.fault_plan = f.plan.get();
+    return s;
+  };
+
+  // ---- deterministic mode: single-threaded, fully replayable ------------
+  if (c.deterministic) {
+    const auto run_once = [&](Trajectory& tr) {
+      serve::Service svc(c.procs, sopts);
+      std::deque<InFlight> window;
+      const auto drain_one = [&] {
+        InFlight f = std::move(window.front());
+        window.pop_front();
+        const runtime::RunResult r = f.handle.await();
+        tr.outcomes.emplace_back(
+            f.idx, "accepted",
+            r.failure ? fault::FailureRecord::kind_name(r.failure->kind)
+                      : "ok",
+            r.makespan, r.counters.serve_retries,
+            r.schedule_decisions.size());
+        tr.results.push_back(r);
+        verify(f);
+      };
+      for (u32 idx = 0; idx < c.programs; ++idx) {
+        InFlight f = build(idx);
+        bool admitted = false;
+        u32 refusals = 0;
+        for (;;) {
+          const serve::SubmitOutcome out = svc.submit(f.prog,
+                                                      submit_opts(f));
+          if (out.accepted()) {
+            f.handle = out.handle;
+            admitted = true;
+            break;
+          }
+          {
+            std::lock_guard lk(tally_mu);
+            if (out.status == serve::SubmitStatus::kShed) {
+              tally.rejected_shed++;
+            } else if (out.status == serve::SubmitStatus::kQuarantined) {
+              tally.rejected_quarantined++;
+            } else {
+              fail("program " + std::to_string(idx) + ": rejected (" +
+                   serve::submit_status_name(out.status) + ")");
+            }
+          }
+          // Refusals are flow control here too: draining one in-flight
+          // program advances virtual time and frees queue space, all of
+          // it pure function of the configuration.  Terminal only once
+          // nothing is left to drain or the retry budget is spent.
+          if (window.empty() || ++refusals >= 64) {
+            tr.outcomes.emplace_back(
+                f.idx, serve::submit_status_name(out.status), "", 0, 0, 0);
+            break;
+          }
+          drain_one();
+        }
+        if (!admitted) continue;
+        window.push_back(std::move(f));
+        // Keep more in flight than the shed watermark so overload
+        // shedding actually engages in deterministic mode.
+        if (window.size() >= 24) drain_one();
+      }
+      while (!window.empty()) drain_one();
+      svc.stop();
+      tr.grant_log = svc.grant_log();
+      tr.counters = svc.counters();
+    };
+
+    Trajectory a;
+    run_once(a);
+    if (a.counters.serve_retries == 0) fail("no retries happened");
+    if (a.counters.serve_watchdog_rescues == 0) {
+      fail("no watchdog rescues happened");
+    }
+    if (a.counters.serve_quarantines == 0) {
+      fail("no quarantine trips happened");
+    }
+    if (a.counters.serve_sheds == 0) fail("no sheds happened");
+    if (c.replay_check) {
+      Trajectory b;
+      run_once(b);
+      if (a.grant_log != b.grant_log) fail("replay: grant logs diverge");
+      if (a.outcomes != b.outcomes) {
+        fail("replay: submission outcomes diverge");
+      }
+      trace::Counters::for_each_field([&](const char* name,
+                                          u64 trace::Counters::* m) {
+        if (a.counters.*m != b.counters.*m) {
+          fail(std::string("replay: counter ") + name + " diverges: " +
+               std::to_string(a.counters.*m) + " vs " +
+               std::to_string(b.counters.*m));
+        }
+      });
+      if (a.results.size() == b.results.size()) {
+        for (std::size_t i = 0; i < a.results.size(); ++i) {
+          if (a.results[i].schedule_decisions !=
+              b.results[i].schedule_decisions) {
+            fail("replay: schedule decisions diverge at result " +
+                 std::to_string(i));
+          }
+        }
+      } else {
+        fail("replay: result counts diverge");
+      }
+      std::printf("replay check: two runs, %zu grants each, %s\n",
+                  a.grant_log.size(),
+                  failures.empty() ? "bit-identical" : "DIVERGED");
+    }
+    std::printf(
+        "det chaos: %llu completed (%llu retried), %llu poison-terminal, "
+        "%llu shed, %llu shed-refused, %llu quarantine-rejected; "
+        "%llu retries, %llu rescues, %llu quarantines, %llu sheds\n",
+        static_cast<unsigned long long>(tally.completed),
+        static_cast<unsigned long long>(tally.completed_retried),
+        static_cast<unsigned long long>(tally.terminal_body_error),
+        static_cast<unsigned long long>(tally.terminal_shed),
+        static_cast<unsigned long long>(tally.rejected_shed),
+        static_cast<unsigned long long>(tally.rejected_quarantined),
+        static_cast<unsigned long long>(a.counters.serve_retries),
+        static_cast<unsigned long long>(a.counters.serve_watchdog_rescues),
+        static_cast<unsigned long long>(a.counters.serve_quarantines),
+        static_cast<unsigned long long>(a.counters.serve_sheds));
+    if (!failures.empty()) {
+      for (const Failure& f : failures) {
+        std::fprintf(stderr, "FAIL: %s\n", f.what.c_str());
+      }
+      return 1;
+    }
+    std::printf("serve-chaos: OK\n");
+    return 0;
+  }
+
+  // ---- threads mode ------------------------------------------------------
+  serve::Service svc(c.procs, sopts);
+  std::atomic<u64> queue_full_retries{0};
+  std::atomic<u64> rejected_shed{0};
+  std::atomic<u64> rejected_quarantined{0};
+
+  const auto submitter = [&](u32 sid) {
+    std::deque<InFlight> window;
+    for (u32 idx = sid; idx < c.programs; idx += c.submitters) {
+      InFlight f = build(idx);
+      const serve::SubmitOptions s = submit_opts(f);
+      // Shed and quarantine refusals are flow-control signals, not
+      // permanent bans: back off and resubmit, bounded so a wedged service
+      // can't hang the harness.  A tenant that exhausts the budget counts
+      // the refusal as terminal for this program.
+      u32 refusals = 0;
+      for (;;) {
+        const serve::SubmitOutcome out = svc.submit(f.prog, s);
+        if (out.accepted()) {
+          f.handle = out.handle;
+          break;
+        }
+        if (out.status == serve::SubmitStatus::kQueueFull) {
+          queue_full_retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
+        if (out.status == serve::SubmitStatus::kShed) {
+          rejected_shed.fetch_add(1, std::memory_order_relaxed);
+        } else if (out.status == serve::SubmitStatus::kQuarantined) {
+          rejected_quarantined.fetch_add(1, std::memory_order_relaxed);
+          if (f.tenant >= chaotic) {
+            fail("program " + std::to_string(idx) +
+                 ": healthy tenant quarantined");
+            break;
+          }
+        } else {
+          fail("program " + std::to_string(idx) + ": rejected (" +
+               serve::submit_status_name(out.status) + ")");
+          break;
+        }
+        if (++refusals >= 2000) break;  // terminal refusal
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+      if (!f.handle.valid()) continue;
+      window.push_back(std::move(f));
+      if (window.size() >= 4) {
+        verify(window.front());
+        window.pop_front();
+      }
+    }
+    while (!window.empty()) {
+      verify(window.front());
+      window.pop_front();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(c.submitters);
+  for (u32 s = 0; s < c.submitters; ++s) threads.emplace_back(submitter, s);
+  for (std::thread& t : threads) t.join();
+  svc.stop();
+  tally.rejected_shed = rejected_shed.load();
+  tally.rejected_quarantined = rejected_quarantined.load();
+
+  const std::vector<runtime::TenantStats> tenants = svc.tenant_snapshot();
+  const std::vector<serve::TenantHealthRow> health = svc.health_snapshot();
+  const trace::Counters counters = svc.counters();
+
+  // The chaos machinery must actually have fired.
+  if (counters.serve_retries == 0) fail("no retries happened");
+  if (counters.serve_watchdog_rescues == 0) {
+    fail("no watchdog rescues happened");
+  }
+  if (counters.serve_quarantines == 0) fail("no quarantine trips happened");
+  if (counters.serve_sheds == 0) fail("no sheds happened");
+  if (tally.completed_retried == 0) {
+    fail("no retried submission completed (oracle-exact retry unproven)");
+  }
+
+  // Healthy-tenant fairness: identical tier-0 workloads must land within
+  // the serve fairness bound, chaos or no chaos.  Skip tenants that lost
+  // submissions to admission noise (there should be none — asserted above).
+  u64 fair_min = std::numeric_limits<u64>::max();
+  u64 fair_max = 0;
+  u32 fair_n = 0;
+  for (const runtime::TenantStats& t : tenants) {
+    if (t.tenant < chaotic) continue;
+    fair_min = std::min<u64>(fair_min, t.granted);
+    fair_max = std::max<u64>(fair_max, t.granted);
+    fair_n++;
+  }
+  double spread = 0.0;
+  if (fair_n >= 2 && fair_max > 0) {
+    spread = static_cast<double>(fair_max - fair_min) /
+             static_cast<double>(fair_max);
+    std::printf("healthy tier: %u tenants, granted [%llu, %llu], "
+                "spread %.1f%%\n",
+                fair_n, static_cast<unsigned long long>(fair_min),
+                static_cast<unsigned long long>(fair_max), spread * 100.0);
+    if (c.check_fairness && spread > c.fairness_tol) {
+      fail("healthy-tenant granted spread " + std::to_string(spread) +
+           " exceeds tolerance " + std::to_string(c.fairness_tol));
+    }
+  }
+
+  for (const serve::TenantHealthRow& h : health) {
+    std::printf("tenant %llu: %s, %llu completions, %llu retries, "
+                "%llu failures, %llu quarantines, %llu sheds\n",
+                static_cast<unsigned long long>(h.tenant),
+                serve::tenant_state_name(h.state),
+                static_cast<unsigned long long>(h.completions),
+                static_cast<unsigned long long>(h.retries),
+                static_cast<unsigned long long>(h.failures),
+                static_cast<unsigned long long>(h.quarantines),
+                static_cast<unsigned long long>(h.sheds));
+  }
+  std::printf(
+      "chaos: %llu completed (%llu retried), %llu poison-terminal, "
+      "%llu shed, %llu shed-refused, %llu quarantine-rejected, "
+      "%llu queue-full retries\n",
+      static_cast<unsigned long long>(tally.completed),
+      static_cast<unsigned long long>(tally.completed_retried),
+      static_cast<unsigned long long>(tally.terminal_body_error),
+      static_cast<unsigned long long>(tally.terminal_shed),
+      static_cast<unsigned long long>(tally.rejected_shed),
+      static_cast<unsigned long long>(tally.rejected_quarantined),
+      static_cast<unsigned long long>(queue_full_retries.load()));
+  std::printf(
+      "counters: %llu submissions, %llu rejections, %llu retries, "
+      "%llu rescues, %llu quarantines, %llu sheds\n",
+      static_cast<unsigned long long>(counters.serve_submissions),
+      static_cast<unsigned long long>(counters.serve_rejections),
+      static_cast<unsigned long long>(counters.serve_retries),
+      static_cast<unsigned long long>(counters.serve_watchdog_rescues),
+      static_cast<unsigned long long>(counters.serve_quarantines),
+      static_cast<unsigned long long>(counters.serve_sheds));
+
+  if (!c.json_path.empty()) {
+    std::ofstream js(c.json_path);
+    if (!js) {
+      std::fprintf(stderr, "cannot write %s\n", c.json_path.c_str());
+      return 1;
+    }
+    js << "{\n  \"procs\": " << c.procs
+       << ",\n  \"programs\": " << c.programs
+       << ",\n  \"failures\": " << failures.size()
+       << ",\n  \"completed\": " << tally.completed
+       << ",\n  \"completed_retried\": " << tally.completed_retried
+       << ",\n  \"terminal_body_error\": " << tally.terminal_body_error
+       << ",\n  \"terminal_shed\": " << tally.terminal_shed
+       << ",\n  \"rejected_shed\": " << tally.rejected_shed
+       << ",\n  \"rejected_quarantined\": " << tally.rejected_quarantined
+       << ",\n  \"healthy_spread\": " << spread
+       << ",\n  \"serve_retries\": " << counters.serve_retries
+       << ",\n  \"serve_watchdog_rescues\": "
+       << counters.serve_watchdog_rescues
+       << ",\n  \"serve_quarantines\": " << counters.serve_quarantines
+       << ",\n  \"serve_sheds\": " << counters.serve_sheds
+       << ",\n  \"tenants\": [";
+    for (std::size_t i = 0; i < health.size(); ++i) {
+      const serve::TenantHealthRow& h = health[i];
+      js << (i ? "," : "") << "\n    {\"tenant\": " << h.tenant
+         << ", \"state\": \"" << serve::tenant_state_name(h.state)
+         << "\", \"completions\": " << h.completions
+         << ", \"retries\": " << h.retries
+         << ", \"failures\": " << h.failures
+         << ", \"quarantines\": " << h.quarantines
+         << ", \"sheds\": " << h.sheds << "}";
+    }
+    js << "\n  ]\n}\n";
+    std::printf("chaos report written to %s\n", c.json_path.c_str());
+  }
+
+  if (!failures.empty()) {
+    for (const Failure& f : failures) {
+      std::fprintf(stderr, "FAIL: %s\n", f.what.c_str());
+    }
+    return 1;
+  }
+  std::printf("serve-chaos: OK\n");
+  return 0;
+}
